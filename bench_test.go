@@ -1,0 +1,468 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one testing.B per experiment (see DESIGN.md for the index), plus
+// micro-benchmarks of the substrates (simulator, LP, MILP). Custom metrics
+// surface each experiment's headline number: peak savings for the analytic
+// surfaces, filtering speedup for Figure 14, and so on.
+//
+// The experiment benchmarks run the workloads at a reduced scale (0.1) so a
+// full -bench=. pass stays in CI-friendly territory; cmd/dvs-bench runs the
+// same experiments at scale 1.0.
+package ctdvs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ctdvs/internal/analytic"
+	cfggraph "ctdvs/internal/cfg"
+	"ctdvs/internal/core"
+	"ctdvs/internal/exp"
+	"ctdvs/internal/ir"
+	"ctdvs/internal/lp"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/paths"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
+)
+
+const benchScale = 0.1
+
+var (
+	benchCfgOnce sync.Once
+	benchCfg     *exp.Config
+)
+
+// cfg returns the shared experiment config; profiles are collected once and
+// cached across benchmarks.
+func cfg() *exp.Config {
+	benchCfgOnce.Do(func() {
+		benchCfg = exp.NewConfig(benchScale)
+		benchCfg.MILP = &milp.Options{TimeLimit: 2 * time.Minute}
+	})
+	return benchCfg
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if c := exp.Figure2(); len(c.X) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if c := exp.Figure3(); len(c.X) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if c := exp.Figure4(); len(c.X) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+func benchSurface(b *testing.B, mk func(int) *exp.Surface) {
+	b.Helper()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = mk(12).Max()
+	}
+	b.ReportMetric(peak, "peak-savings")
+}
+
+func BenchmarkFigure5(b *testing.B) { benchSurface(b, exp.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchSurface(b, exp.Figure6) }
+func BenchmarkFigure7(b *testing.B) { benchSurface(b, exp.Figure7) }
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.Figure8(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.X) == 0 {
+			b.Fatal("empty feasible band")
+		}
+	}
+}
+
+func benchSurfaceErr(b *testing.B, mk func(int) (*exp.Surface, error)) {
+	b.Helper()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		s, err := mk(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = s.Max()
+	}
+	b.ReportMetric(peak, "peak-savings")
+}
+
+func BenchmarkFigure9(b *testing.B)  { benchSurfaceErr(b, exp.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchSurfaceErr(b, exp.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchSurfaceErr(b, exp.Figure11) }
+
+func BenchmarkTable1(b *testing.B) {
+	c := cfg()
+	var lax3 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Levels == 3 && r.Benchmark == "gsm/encode" {
+				lax3 = r.Savings[4]
+			}
+		}
+	}
+	b.ReportMetric(lax3, "gsm-3lvl-laxest-savings")
+}
+
+func BenchmarkTable3Figure14(b *testing.B) {
+	c := cfg()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3Figure14(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = 0
+		for _, r := range rows {
+			speedup += r.Speedup()
+		}
+		speedup /= float64(len(rows))
+	}
+	b.ReportMetric(speedup, "mean-filter-speedup")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table4(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Figures17And18(b *testing.B) {
+	c := cfg()
+	var switches int64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.DeadlineSweep(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switches = 0
+		for _, r := range rows {
+			for _, n := range r.Transitions {
+				switches += n
+			}
+		}
+	}
+	b.ReportMetric(float64(switches), "total-transitions")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	c := cfg()
+	var lax3 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table6(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Levels == 3 && r.Benchmark == "gsm/encode" {
+				lax3 = r.Savings[4]
+			}
+		}
+	}
+	b.ReportMetric(lax3, "gsm-3lvl-laxest-savings")
+}
+
+func BenchmarkTable7(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table7(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	c := cfg()
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure15(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = 0
+		for _, r := range rows {
+			drop += r.NormEnergy[0] - r.NormEnergy[len(r.NormEnergy)-1]
+		}
+		drop /= float64(len(rows))
+	}
+	b.ReportMetric(drop, "mean-energy-drop")
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure19(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTransitionCost(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationNoTransitionCost(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBlockEdge(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationBlockBased(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHeuristic(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationHeuristic(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkSimulatorMpeg(b *testing.B) {
+	spec := workloads.MpegDecode(benchScale)
+	m := sim.MustNew(sim.DefaultConfig())
+	mode := volt.XScale3().Mode(2)
+	b.ResetTimer()
+	var cycles float64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(spec.Program, spec.Inputs[0], mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = float64(res.Params.NCache + res.Params.NOverlap + res.Params.NDependent)
+	}
+	b.ReportMetric(cycles/b.Elapsed().Seconds()*float64(b.N)/1e6, "Mcycles/s")
+}
+
+func BenchmarkProfileCollect(b *testing.B) {
+	spec := workloads.Gsm(benchScale)
+	m := sim.MustNew(sim.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Collect(m, spec.Program, spec.Inputs[0], volt.XScale3()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPSolve(b *testing.B) {
+	// An assignment-shaped LP of the DVS formulation's structure.
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		var budget []lp.Term
+		for g := 0; g < 150; g++ {
+			row := make([]lp.Term, 3)
+			for m := 0; m < 3; m++ {
+				v := p.AddVariable(float64((g*7+m*13)%17)+1, 0, 1)
+				row[m] = lp.Term{Var: v, Coef: 1}
+				budget = append(budget, lp.Term{Var: v, Coef: float64(m + 1)})
+			}
+			p.MustAddConstraint(row, lp.EQ, 1)
+		}
+		p.MustAddConstraint(budget, lp.LE, 320)
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := build().Solve(nil)
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("solve failed: %v %v", err, sol)
+		}
+	}
+}
+
+func BenchmarkMILPOptimize(b *testing.B) {
+	m := sim.MustNew(sim.DefaultConfig())
+	spec := workloads.Epic(benchScale)
+	pr, err := profile.Collect(m, spec.Program, spec.Inputs[0], volt.XScale3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := pr.Modes.Len()
+	dl := (pr.TotalTimeUS[n-1] + pr.TotalTimeUS[0]) / 2
+	b.ResetTimer()
+	var nodes float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.OptimizeSingle(pr, dl, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = float64(res.Solver.Nodes)
+	}
+	b.ReportMetric(nodes, "bb-nodes")
+}
+
+func BenchmarkDVSExecution(b *testing.B) {
+	m := sim.MustNew(sim.DefaultConfig())
+	spec := workloads.Gsm(benchScale)
+	pr, err := profile.Collect(m, spec.Program, spec.Inputs[0], volt.XScale3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := pr.Modes.Len()
+	dl := (pr.TotalTimeUS[n-1] + pr.TotalTimeUS[0]) / 2
+	res, err := core.OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RunDVS(spec.Program, spec.Inputs[0], res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyticDiscreteLP(b *testing.B) {
+	ms, err := volt.Levels(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := analytic.Params{
+		NOverlap:   4e6,
+		NDependent: 5.8e6,
+		NCache:     3e5,
+		TInvariant: 8000,
+		DeadlineUS: 16000,
+	}
+	b.ResetTimer()
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		sol, err := analytic.OptimizeDiscrete(p, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = sol.EnergyVC
+	}
+	b.ReportMetric(energy/1e6, "MV2cycles")
+}
+
+func BenchmarkAnalyticContinuous(b *testing.B) {
+	p := analytic.Params{
+		NOverlap:   4e6,
+		NDependent: 5.8e6,
+		NCache:     3e5,
+		TInvariant: 8000,
+		DeadlineUS: 16000,
+	}
+	vr := analytic.DefaultVRange()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.OptimizeContinuous(p, vr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchWorkloadSink *ir.Program
+
+// BenchmarkWorkloadConstruction measures building the six-benchmark suite.
+func BenchmarkWorkloadConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range workloads.All(benchScale) {
+			benchWorkloadSink = s.Program
+		}
+	}
+}
+
+func BenchmarkRuntimeVsCompileTime(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RuntimeVsCompileTime(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLeakage(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationLeakage(c, exp.DefaultLeakageSweep()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPathFilter(b *testing.B) {
+	c := cfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPathFilter(c, 0.98); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlacementStats(b *testing.B) {
+	c := cfg()
+	var silent int
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PlacementStats(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		silent = 0
+		for _, r := range rows {
+			silent += r.Silent
+		}
+	}
+	b.ReportMetric(float64(silent), "silent-mode-sets")
+}
+
+func BenchmarkPathProfiling(b *testing.B) {
+	spec := workloads.Gsm(benchScale)
+	g, err := cfggraph.FromProgram(spec.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	numbering, err := paths.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.MustNew(sim.DefaultConfig())
+	mode := volt.XScale3().Mode(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := numbering.NewTracer()
+		m.EdgeHook = tr.Edge
+		if _, err := m.Run(spec.Program, spec.Inputs[0], mode); err != nil {
+			b.Fatal(err)
+		}
+		m.EdgeHook = nil
+		tr.Finish()
+	}
+}

@@ -1,0 +1,96 @@
+// Command dvs-analytic explores the paper's Section 3 analytical model for a
+// single parameter set: it reports the continuous-voltage optimum, the
+// discrete optimum for 3/7/13 voltage levels, the single-frequency baselines,
+// and the resulting energy-saving ratios.
+//
+// Usage:
+//
+//	dvs-analytic -noverlap 4e6 -ndependent 5.8e6 -ncache 3e5 \
+//	             -tinvariant 8000 -deadline 16000
+//
+// Cycle counts are CPU cycles; times are microseconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctdvs/internal/analytic"
+	"ctdvs/internal/volt"
+)
+
+func main() {
+	nOverlap := flag.Float64("noverlap", 4e6, "overlap computation cycles")
+	nDependent := flag.Float64("ndependent", 5.8e6, "dependent computation cycles")
+	nCache := flag.Float64("ncache", 3e5, "cache-hit memory cycles")
+	tInvariant := flag.Float64("tinvariant", 8000, "cache-miss service time (µs)")
+	deadline := flag.Float64("deadline", 16000, "deadline (µs)")
+	vLo := flag.Float64("vlo", 0.7, "continuous range low voltage (V)")
+	vHi := flag.Float64("vhi", 1.65, "continuous range high voltage (V)")
+	flag.Parse()
+
+	p := analytic.Params{
+		NOverlap:   *nOverlap,
+		NDependent: *nDependent,
+		NCache:     *nCache,
+		TInvariant: *tInvariant,
+		DeadlineUS: *deadline,
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dvs-analytic:", err)
+		os.Exit(1)
+	}
+	vr := analytic.VRange{Lo: *vLo, Hi: *vHi, Scaling: volt.DefaultScaling()}
+
+	fmt.Printf("parameters: Noverlap=%.0f Ndependent=%.0f Ncache=%.0f cycles, tinvariant=%.1fµs, deadline=%.1fµs\n",
+		p.NOverlap, p.NDependent, p.NCache, p.TInvariant, p.DeadlineUS)
+	fmt.Printf("derived:    f_invariant=%.1f MHz, f_ideal=%.1f MHz, T(f_max)=%.1f µs\n\n",
+		p.FInvariant(), p.FIdeal(), p.ExecTimeUS(vr.FHi()))
+
+	// Continuous case.
+	bv, bf, be, err := analytic.BaselineContinuous(p, vr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvs-analytic: continuous baseline:", err)
+		os.Exit(1)
+	}
+	sol, err := analytic.OptimizeContinuous(p, vr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvs-analytic: continuous optimum:", err)
+		os.Exit(1)
+	}
+	save, _ := analytic.SavingsContinuous(p, vr)
+	fmt.Printf("continuous [%.2fV..%.2fV]:\n", vr.Lo, vr.Hi)
+	fmt.Printf("  baseline: v=%.3fV f=%.1fMHz E=%.4g V²·cycles\n", bv, bf, be)
+	fmt.Printf("  optimum:  v1=%.3fV (f1=%.1fMHz) v2=%.3fV (f2=%.1fMHz) E=%.4g (%s)\n",
+		sol.V1, sol.F1, sol.V2, sol.F2, sol.EnergyVC, sol.Case)
+	fmt.Printf("  energy-saving ratio: %.4f\n\n", save)
+
+	// Discrete cases.
+	for _, levels := range []int{3, 7, 13} {
+		ms, err := volt.Levels(levels)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvs-analytic:", err)
+			os.Exit(1)
+		}
+		mode, baseE, ok := analytic.BaselineDiscrete(p, ms)
+		if !ok {
+			fmt.Printf("discrete %2d levels: deadline infeasible even at %v\n", levels, ms.Max())
+			continue
+		}
+		dsol, err := analytic.OptimizeDiscrete(p, ms)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvs-analytic: discrete %d levels: %v\n", levels, err)
+			os.Exit(1)
+		}
+		s, _ := analytic.SavingsDiscrete(p, ms)
+		fmt.Printf("discrete %2d levels: baseline %v (E=%.4g), optimum E=%.4g, savings %.4f, modes used %d\n",
+			levels, ms.Mode(mode), baseE, dsol.EnergyVC, s, dsol.ModesUsed)
+		for m := 0; m < ms.Len(); m++ {
+			if dsol.X[m] > 1 || dsol.Y[m] > 1 {
+				fmt.Printf("    %v: overlap %.0f cycles (cache %.0f), dependent %.0f cycles\n",
+					ms.Mode(m), dsol.X[m], dsol.XC[m], dsol.Y[m])
+			}
+		}
+	}
+}

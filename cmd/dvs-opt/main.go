@@ -1,0 +1,167 @@
+// Command dvs-opt runs the MILP DVS optimizer on one benchmark and reports
+// the chosen schedule, solver statistics, and the measured outcome against
+// the best single-frequency baseline.
+//
+// Usage:
+//
+//	dvs-opt -bench gsm/encode -deadline 3          # paper deadline number 1-5
+//	dvs-opt -bench gsm/encode -deadline-us 90000   # explicit deadline in µs
+//	dvs-opt -bench mpeg/decode -levels 7 -cap 1e-6 -no-filter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/exp"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/schedfile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "adpcm/encode", "benchmark name")
+	input := flag.Int("input", 0, "input index")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	levels := flag.Int("levels", 3, "voltage levels (3, 7 or 13)")
+	deadlineNum := flag.Int("deadline", 3, "paper deadline number (1=tight .. 5=lax)")
+	deadlineUS := flag.Float64("deadline-us", 0, "explicit deadline in µs (overrides -deadline)")
+	capF := flag.Float64("cap", 10e-6, "regulator capacitance (farads)")
+	noFilter := flag.Bool("no-filter", false, "disable 2% edge filtering")
+	noTrans := flag.Bool("no-transition-costs", false, "Saputra-style: ignore switching costs in the MILP")
+	blockBased := flag.Bool("block-based", false, "block-granularity mode variables")
+	solveLimit := flag.Duration("solve-limit", 2*time.Minute, "MILP time limit")
+	showSchedule := flag.Bool("schedule", false, "print the per-edge mode assignment")
+	showPlacement := flag.Bool("placement", false, "classify mode-set instructions (required/silent/hoistable)")
+	savePath := flag.String("save", "", "write the schedule to this file (dvs-sim executes it)")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvs-opt:", err)
+		os.Exit(1)
+	}
+
+	var spec *workloads.Spec
+	for _, s := range workloads.All(*scale) {
+		if s.Name == *bench {
+			spec = s
+		}
+	}
+	if spec == nil {
+		die(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	if *input < 0 || *input >= len(spec.Inputs) {
+		die(fmt.Errorf("%s has inputs 0..%d", *bench, len(spec.Inputs)-1))
+	}
+	ms, err := volt.Levels(*levels)
+	if err != nil {
+		die(err)
+	}
+
+	m := sim.MustNew(sim.DefaultConfig())
+	pr, err := profile.Collect(m, spec.Program, spec.Inputs[*input], ms)
+	if err != nil {
+		die(err)
+	}
+
+	dl := *deadlineUS
+	if dl == 0 {
+		if *deadlineNum < 1 || *deadlineNum > 5 {
+			die(fmt.Errorf("deadline number must be 1..5"))
+		}
+		n := pr.Modes.Len()
+		dl = spec.Deadline(*deadlineNum, pr.TotalTimeUS[n-1], pr.TotalTimeUS[0])
+	}
+
+	reg := volt.DefaultRegulator().WithCapacitance(*capF)
+	opts := &core.Options{
+		Regulator:         reg,
+		NoTransitionCosts: *noTrans,
+		BlockBased:        *blockBased,
+		MILP:              &milp.Options{TimeLimit: *solveLimit},
+	}
+	if *noFilter {
+		opts.FilterTail = -1
+	}
+
+	res, err := core.OptimizeSingle(pr, dl, opts)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("%s input %q: deadline %.1f µs, %d voltage levels, c=%.2g F\n",
+		spec.Name, spec.Inputs[*input].Name, dl, *levels, *capF)
+	fmt.Printf("MILP: %d/%d independent edges, %d nodes, %d LP solves, %v (%v)\n",
+		res.IndependentEdges, res.TotalEdges,
+		res.Solver.Nodes, res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
+		res.Solver.Status)
+	fmt.Printf("predicted: energy %.1f µJ, time %.1f µs\n",
+		res.PredictedEnergyUJ, res.PredictedTimeUS[0])
+
+	ev, err := core.Evaluate(m, pr, res.Schedule, dl)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("measured:  energy %.1f µJ, time %.1f µs, %d transitions "+
+		"(%.2f µJ / %.2f µs in switches), meets deadline: %v\n",
+		ev.Run.EnergyUJ, ev.Run.TimeUS, ev.Run.Transitions,
+		ev.Run.TransitionEnergyUJ, ev.Run.TransitionTimeUS, ev.MeetsDeadline)
+
+	mode, baseE, ok := pr.BestSingleMode(dl)
+	if ok {
+		s, err := core.SavingsVsBestSingle(m, pr, res.Schedule, dl, reg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("baseline:  best single mode %v, energy %.1f µJ → savings %.4f\n",
+			pr.Modes.Mode(mode), baseE, s)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			die(err)
+		}
+		if err := schedfile.Save(f, spec.Name, res.Schedule); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("schedule written to %s\n", *savePath)
+	}
+
+	if *showPlacement {
+		pl := core.PlaceModeSets(pr, res.Schedule)
+		fmt.Printf("placement: %d mode-set instructions required, %d silent (removable), %d hoistable\n",
+			len(pl.Required), len(pl.Silent), len(pl.Hoistable))
+		for _, e := range pl.Required {
+			fmt.Printf("  required: %v → %v\n", e, pr.Modes.Mode(res.Schedule.Assignment[e]))
+		}
+	}
+
+	if *showSchedule {
+		st := &exp.Table{
+			Title:   "\nschedule (mode-set per control-flow edge)",
+			Headers: []string{"edge", "destination", "mode", "traversals"},
+		}
+		g := pr.Graph
+		for ei, e := range g.Edges {
+			mi := res.Schedule.Assignment[e]
+			st.Rows = append(st.Rows, []string{
+				e.String(), spec.Program.Blocks[e.To].Name, pr.Modes.Mode(mi).String(),
+				fmt.Sprintf("%d", pr.EdgeCounts[ei]),
+			})
+		}
+		if err := st.Render(os.Stdout); err != nil {
+			die(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command dvs-prof profiles one benchmark of the synthetic MediaBench suite
+// and prints its Table 7 parameters, fixed-mode runtimes/energies, deadline
+// positions, and per-block profile.
+//
+// Usage:
+//
+//	dvs-prof -bench mpeg/decode [-input 0] [-scale 1.0] [-levels 3] [-blocks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/exp"
+	"ctdvs/internal/paths"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "adpcm/encode", "benchmark name")
+	input := flag.Int("input", 0, "input index (mpeg/decode has 4)")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	levels := flag.Int("levels", 3, "voltage levels (3, 7 or 13)")
+	blocks := flag.Bool("blocks", false, "print the per-block profile")
+	hotPaths := flag.Int("hot-paths", 0, "print the N hottest Ball-Larus acyclic paths")
+	flag.Parse()
+
+	var spec *workloads.Spec
+	for _, s := range workloads.All(*scale) {
+		if s.Name == *bench {
+			spec = s
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "dvs-prof: unknown benchmark %q; available:\n", *bench)
+		for _, s := range workloads.All(*scale) {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(1)
+	}
+	if *input < 0 || *input >= len(spec.Inputs) {
+		fmt.Fprintf(os.Stderr, "dvs-prof: %s has inputs 0..%d\n", *bench, len(spec.Inputs)-1)
+		os.Exit(1)
+	}
+	ms, err := volt.Levels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvs-prof:", err)
+		os.Exit(1)
+	}
+
+	m := sim.MustNew(sim.DefaultConfig())
+
+	var tracer *paths.Tracer
+	var numbering *paths.Numbering
+	if *hotPaths > 0 {
+		g, err := cfg.FromProgram(spec.Program)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvs-prof:", err)
+			os.Exit(1)
+		}
+		numbering, err = paths.New(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvs-prof:", err)
+			os.Exit(1)
+		}
+		tracer = numbering.NewTracer()
+		m.EdgeHook = tracer.Edge
+	}
+
+	pr, err := profile.Collect(m, spec.Program, spec.Inputs[*input], ms)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvs-prof:", err)
+		os.Exit(1)
+	}
+	m.EdgeHook = nil
+
+	fmt.Printf("%s, input %q, scale %g\n", spec.Name, spec.Inputs[*input].Name, *scale)
+	fmt.Printf("parameters: %s\n\n", sim.FormatParams(pr.Params))
+
+	runs := &exp.Table{
+		Title:   "fixed-mode runs",
+		Headers: []string{"mode", "time (ms)", "energy (µJ)"},
+	}
+	for i := 0; i < ms.Len(); i++ {
+		runs.Rows = append(runs.Rows, []string{
+			ms.Mode(i).String(),
+			fmt.Sprintf("%.3f", pr.TotalTimeUS[i]/1e3),
+			fmt.Sprintf("%.1f", pr.TotalEnergyUJ[i]),
+		})
+	}
+	if err := runs.Render(os.Stdout); err != nil {
+		os.Exit(1)
+	}
+
+	n := pr.Modes.Len()
+	dls := spec.Deadlines(pr.TotalTimeUS[n-1], pr.TotalTimeUS[0])
+	fmt.Printf("\ndeadlines (ms): D1=%.3f D2=%.3f D3=%.3f D4=%.3f D5=%.3f\n",
+		dls[0]/1e3, dls[1]/1e3, dls[2]/1e3, dls[3]/1e3, dls[4]/1e3)
+	fmt.Printf("graph: %d blocks, %d edges, %d local paths\n",
+		pr.Graph.NumBlocks, pr.Graph.NumEdges(), len(pr.Graph.Paths))
+
+	if tracer != nil {
+		tracer.Finish()
+		hot, err := paths.Hot(numbering, tracer.Counts(), *hotPaths)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvs-prof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nhot acyclic paths (Ball-Larus, over %d profiling runs):\n", ms.Len())
+		for _, h := range hot {
+			fmt.Printf("  ×%-10d", h.Count)
+			for i, blk := range h.Blocks {
+				if i > 0 {
+					fmt.Print(" → ")
+				}
+				fmt.Print(spec.Program.Blocks[blk].Name)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *blocks {
+		bt := &exp.Table{
+			Title:   "\nper-block profile (per invocation, at the fastest mode)",
+			Headers: []string{"block", "name", "invocations", "time (µs)", "energy (µJ)"},
+		}
+		for j := 0; j < pr.Graph.NumBlocks; j++ {
+			bt.Rows = append(bt.Rows, []string{
+				fmt.Sprintf("%d", j),
+				spec.Program.Blocks[j].Name,
+				fmt.Sprintf("%d", pr.Invocations[j]),
+				fmt.Sprintf("%.4f", pr.TimeUS[j][n-1]),
+				fmt.Sprintf("%.5f", pr.EnergyUJ[j][n-1]),
+			})
+		}
+		if err := bt.Render(os.Stdout); err != nil {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command dvs-sim executes a saved DVS schedule (produced by dvs-opt -save)
+// on the simulator, closing the toolchain loop: profile → optimize →
+// schedule file → execute. Running with a different input than the one the
+// schedule was optimized for reproduces the paper's cross-input experiments
+// (Section 6.4) from the command line.
+//
+// Usage:
+//
+//	dvs-opt -bench mpeg/decode -deadline 3 -save sched.json
+//	dvs-sim -schedule sched.json -input 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctdvs/internal/schedfile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/workloads"
+)
+
+func main() {
+	schedPath := flag.String("schedule", "", "schedule file written by dvs-opt -save")
+	input := flag.Int("input", 0, "input index to execute")
+	scale := flag.Float64("scale", 1.0, "workload scale (must match the profiling scale)")
+	deadlineUS := flag.Float64("deadline-us", 0, "optional deadline to check the run against (µs)")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "dvs-sim:", err)
+		os.Exit(1)
+	}
+	if *schedPath == "" {
+		die(fmt.Errorf("-schedule is required"))
+	}
+	f, err := os.Open(*schedPath)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	program, sched, err := schedfile.Load(f)
+	if err != nil {
+		die(err)
+	}
+
+	var spec *workloads.Spec
+	for _, s := range workloads.All(*scale) {
+		if s.Name == program {
+			spec = s
+		}
+	}
+	if spec == nil {
+		die(fmt.Errorf("schedule targets unknown benchmark %q", program))
+	}
+	if *input < 0 || *input >= len(spec.Inputs) {
+		die(fmt.Errorf("%s has inputs 0..%d", program, len(spec.Inputs)-1))
+	}
+
+	m := sim.MustNew(sim.DefaultConfig())
+	res, err := m.RunDVS(spec.Program, spec.Inputs[*input], sched)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("%s input %q under %s:\n", program, spec.Inputs[*input].Name, *schedPath)
+	fmt.Printf("  time   %.1f µs\n", res.TimeUS)
+	fmt.Printf("  energy %.1f µJ (%.2f µJ in %d mode switches)\n",
+		res.EnergyUJ, res.TransitionEnergyUJ, res.Transitions)
+	if *deadlineUS > 0 {
+		ok := res.TimeUS <= *deadlineUS
+		fmt.Printf("  deadline %.1f µs: met=%v (slack %.1f µs)\n",
+			*deadlineUS, ok, *deadlineUS-res.TimeUS)
+		if !ok {
+			os.Exit(2)
+		}
+	}
+}

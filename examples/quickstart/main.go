@@ -1,0 +1,81 @@
+// Quickstart: the full compile-time DVS pipeline on a small program.
+//
+// It builds a two-phase program in the mini-IR (a memory-bound loop followed
+// by a compute-bound loop), profiles it on the simulator at the XScale-like
+// 200/600/800 MHz modes, asks the MILP optimizer for the minimum-energy
+// mode-set placement under a mid-range deadline, and measures the result
+// against the best single-frequency baseline.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/ir"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+func main() {
+	// 1. Describe a program: a memory-bound phase (streaming loads with a
+	// short dependent tail) and a compute-bound phase.
+	b := ir.NewBuilder("quickstart")
+	mem := b.RandomStream(64 << 20) // 64 MB working set: every load misses
+	memPhase := b.Block("memory-bound")
+	cpuPhase := b.Block("compute-bound")
+	exit := b.Block("exit")
+
+	memPhase.Load(mem).Compute(30).DependentCompute(5)
+	b.LoopBranch(memPhase, memPhase, cpuPhase, 4000)
+
+	cpuPhase.Compute(120)
+	b.LoopBranch(cpuPhase, cpuPhase, exit, 4000)
+
+	exit.Compute(1)
+	exit.Exit()
+	prog := b.MustFinish()
+
+	// 2. Profile it at every DVS mode.
+	machine := sim.MustNew(sim.DefaultConfig())
+	input := ir.Input{Name: "default", Seed: 42}
+	prof, err := profile.Collect(machine, prog, input, volt.XScale3())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %q: %s\n", prog.Name, sim.FormatParams(prof.Params))
+	for i, m := range prof.Modes.Modes() {
+		fmt.Printf("  fixed %v: %8.1f µs, %8.1f µJ\n", m, prof.TotalTimeUS[i], prof.TotalEnergyUJ[i])
+	}
+
+	// 3. Pick a deadline halfway between the fastest and slowest runs and
+	// optimize.
+	deadline := (prof.TotalTimeUS[2] + prof.TotalTimeUS[0]) / 2
+	res, err := core.OptimizeSingle(prof, deadline, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeadline %.1f µs → MILP over %d/%d independent edges, solved in %v\n",
+		deadline, res.IndependentEdges, res.TotalEdges, res.Solver.SolveTime)
+	for e, m := range res.Schedule.Assignment {
+		fmt.Printf("  edge %-9v → %v\n", e, prof.Modes.Mode(m))
+	}
+
+	// 4. Execute the schedule and compare with the best single mode.
+	ev, err := core.Evaluate(machine, prof, res.Schedule, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	savings, err := core.SavingsVsBestSingle(machine, prof, res.Schedule, deadline, volt.DefaultRegulator())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured: %.1f µs (deadline met: %v), %.1f µJ, %d mode switches\n",
+		ev.Run.TimeUS, ev.MeetsDeadline, ev.Run.EnergyUJ, ev.Run.Transitions)
+	fmt.Printf("energy saved vs best single frequency: %.1f%%\n", savings*100)
+}

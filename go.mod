@@ -1,0 +1,3 @@
+module ctdvs
+
+go 1.22

@@ -1,0 +1,115 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"ctdvs/internal/volt"
+)
+
+// Degenerate parameter corners: the model must stay well-defined when any
+// of the four program parameters vanishes.
+
+func TestPureComputeNoSavings(t *testing.T) {
+	// No memory at all: a single frequency is optimal and savings are zero
+	// in both the continuous and discrete models.
+	p := Params{NOverlap: 5e6, NDependent: 3e6, DeadlineUS: 20000}
+	vr := DefaultVRange()
+	s, err := SavingsContinuous(p, vr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 1e-6 {
+		t.Errorf("continuous savings %v for pure compute", s)
+	}
+	sol, err := OptimizeContinuous(p, vr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V1-sol.V2) > 0.02 {
+		t.Errorf("pure compute wants one voltage, got %v/%v", sol.V1, sol.V2)
+	}
+}
+
+func TestNoDependentComputation(t *testing.T) {
+	p := Params{NOverlap: 5e6, NCache: 1e6, TInvariant: 4000, DeadlineUS: 40000}
+	vr := DefaultVRange()
+	if _, err := OptimizeContinuous(p, vr); err != nil {
+		t.Fatalf("continuous: %v", err)
+	}
+	ms := volt.XScale3()
+	sol, err := OptimizeDiscrete(p, ms)
+	if err != nil {
+		t.Fatalf("discrete: %v", err)
+	}
+	sumY := 0.0
+	for _, y := range sol.Y {
+		sumY += y
+	}
+	if sumY > 1 {
+		t.Errorf("dependent allocation %v with NDependent=0", sumY)
+	}
+}
+
+func TestNoOverlapComputation(t *testing.T) {
+	// Only cache traffic and dependent computation: R1 = NCache.
+	p := Params{NCache: 2e6, NDependent: 4e6, TInvariant: 3000, DeadlineUS: 40000}
+	ms := volt.XScale3()
+	sol, err := OptimizeDiscrete(p, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumX := 0.0
+	for _, x := range sol.X {
+		sumX += x
+	}
+	if math.Abs(sumX-2e6) > 1 {
+		t.Errorf("region-1 allocation %v, want NCache", sumX)
+	}
+}
+
+func TestZeroMemoryEntirely(t *testing.T) {
+	// NCache = 0 and TInvariant = 0: discrete LP must still solve.
+	p := Params{NOverlap: 1e6, NDependent: 1e6, DeadlineUS: 10000}
+	ms, _ := volt.Levels(7)
+	sol, err := OptimizeDiscrete(p, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.EnergyVC <= 0 {
+		t.Errorf("energy %v", sol.EnergyVC)
+	}
+	// With zero cache cycles the XC allocation is empty.
+	for m, xc := range sol.XC {
+		if xc > 1 {
+			t.Errorf("cache allocation %v at mode %d with NCache=0", xc, m)
+		}
+	}
+}
+
+func TestTinyProgram(t *testing.T) {
+	// A program of a few hundred cycles must not trip scaling/conditioning.
+	p := Params{NOverlap: 300, NDependent: 200, NCache: 50, TInvariant: 0.5, DeadlineUS: 10}
+	ms := volt.XScale3()
+	if _, err := OptimizeDiscrete(p, ms); err != nil {
+		t.Fatal(err)
+	}
+	s, err := SavingsDiscrete(p, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0 || s >= 1 {
+		t.Errorf("savings %v", s)
+	}
+}
+
+func TestEnergyVsV1NoDependent(t *testing.T) {
+	p := Params{NOverlap: 5e6, NCache: 1e6, TInvariant: 4000, DeadlineUS: 40000}
+	vr := DefaultVRange()
+	es := EnergyVsV1(p, vr, []float64{0.8, 1.2, 1.65})
+	for i, e := range es {
+		if math.IsNaN(e) {
+			t.Errorf("point %d is NaN", i)
+		}
+	}
+}

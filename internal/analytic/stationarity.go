@@ -1,0 +1,88 @@
+package analytic
+
+import "math"
+
+// This file implements the paper's Section 3.3 first-order optimality
+// conditions in closed form, as a cross-check on the numeric optimizer in
+// continuous.go. For the two-voltage optimization
+//
+//	minimize    E(v1, v2) = N1·v1² + N2·v2²
+//	subject to  N1'·τ(v1) + N2·τ(v2) = T
+//
+// where τ(v) = v/f(v) = v²·(v − vt)^{−a}/k is the per-cycle execution time,
+// N1 the cycle count charged energy at v1, N1' the cycle count whose *time*
+// appears in the binding deadline constraint (NOverlap when computation
+// dominates the overlapped region, NCache when the memory stream does), and
+// N2 = NDependent, the Lagrange conditions give
+//
+//	2·N1·v1 = λ·N1'·τ'(v1)
+//	2·N2·v2 = λ·N2·τ'(v2)
+//
+// whose ratio is the stationarity condition
+//
+//	(N1/N1') · v1/τ'(v1)  =  v2/τ'(v2)
+//
+// with τ'(v) = v·(v − vt)^{−a−1}·(2(v − vt) − a·v)/k (the k cancels). When
+// N1 == N1' the map v ↦ v/τ'(v) is strictly monotone on the operating range,
+// forcing v1 == v2 — the paper's single-voltage result for the
+// computation-dominated and memory-slack cases. In the memory-dominated case
+// N1/N1' = NOverlap/NCache > 1 pushes v1 below v2: slow overlapped region,
+// hurry-up dependent computation, exactly the paper's Figure 3 narrative.
+//
+// timeSlope returns d(v/f(v))/dv · k — the derivative of the per-cycle
+// execution time (scaled by the constant k, which cancels in ratios):
+// g(v) = v²·(v−vt)^{−a}, g'(v) = v·(v−vt)^{−a−1}·(2(v−vt) − a·v).
+func timeSlope(sc VRange, v float64) float64 {
+	vt := sc.Scaling.Vt
+	a := sc.Scaling.A
+	return v * math.Pow(v-vt, -a-1) * (2*(v-vt) - a*v)
+}
+
+// StationarityResidual evaluates the first-order condition for the
+// two-voltage optimum of the memory-dominated (or computation-dominated)
+// case: at an interior optimum,
+//
+//	N1·v1 / g'(v1) = N2·v2 / g'(v2)
+//
+// where N1 is the cycle count charged at v1 (the overlapped region's active
+// cycles), N1' the cycle count whose *time* scales with v1 inside the
+// deadline constraint, and N2 = NDependent. When the overlapped region's
+// energy and time cycles coincide (N1 == N1', the computation-dominated and
+// memory-slack cases) the condition reduces to the marginal-energy-per-
+// marginal-time balance that forces v1 == v2 — the paper's single-voltage
+// result. The residual returned is normalized to be dimensionless:
+//
+//	r = (N1·v1·g'(v2) − (N1·N2/N1')·... )
+//
+// Concretely: r = (N1/N1')·v1/g'(v1) − (N2/N2)·v2/g'(v2), scaled by the
+// larger term; zero at stationarity.
+func StationarityResidual(p Params, vr VRange, v1, v2 float64) float64 {
+	n1 := p.R1()                     // energy cycles at v1
+	n1t := timeCyclesAtV1(p, vr, v1) // time cycles at v1 in the binding constraint
+	n2 := p.NDependent
+	if n2 <= 0 || n1 <= 0 || n1t <= 0 {
+		return 0
+	}
+	lhs := n1 / n1t * v1 / timeSlope(vr, v1)
+	rhs := v2 / timeSlope(vr, v2)
+	scale := math.Max(math.Abs(lhs), math.Abs(rhs))
+	if scale == 0 {
+		return 0
+	}
+	return (lhs - rhs) / scale
+}
+
+// timeCyclesAtV1 returns the cycle count whose execution time the deadline
+// constraint charges at v1: NOverlap when computation dominates the
+// overlapped region's duration, NCache when the memory stream does (the two
+// branches of the paper's max(·,·)).
+func timeCyclesAtV1(p Params, vr VRange, v1 float64) float64 {
+	f1 := vr.Scaling.Freq(v1)
+	if f1 <= 0 {
+		return p.NOverlap
+	}
+	if p.NOverlap/f1 >= p.TInvariant+p.NCache/f1 {
+		return p.NOverlap
+	}
+	return p.NCache
+}

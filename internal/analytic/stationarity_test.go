@@ -1,0 +1,138 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// interiorMemDominated is constructed so the memory-dominated optimum is
+// strictly interior (not pinned at f_invariant or at the voltage-range
+// limits): solving the stationarity condition by hand with
+// NOverlap/NCache = 2 gives v1 ≈ 1.00 V, v2 ≈ 1.13 V; the deadline is set
+// so that exact point satisfies the time constraint with equality.
+func interiorMemDominated() Params {
+	return Params{
+		NOverlap:   4e6,
+		NDependent: 5.8e6,
+		NCache:     2e6,
+		TInvariant: 10000,
+		DeadlineUS: 26529,
+	}
+}
+
+func TestStationarityHoldsAtInteriorOptimum(t *testing.T) {
+	p := interiorMemDominated()
+	vr := DefaultVRange()
+	sol, err := OptimizeContinuous(p, vr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Case != MemoryDominated {
+		t.Fatalf("case = %v, want memory-dominated", sol.Case)
+	}
+	// The hand-derived stationary point (1.00, 1.13) and the numeric
+	// optimum must agree: the energy valley is flat, so compare energies
+	// rather than coordinates, and require the first-order condition's
+	// zero-crossing to sit next to the numeric v1.
+	if math.Abs(sol.V1-1.00) > 0.05 || math.Abs(sol.V2-1.13) > 0.05 {
+		t.Errorf("optimum (%.3f, %.3f), hand-derived (1.00, 1.13)", sol.V1, sol.V2)
+	}
+	handE := p.R1()*1.00*1.00 + p.NDependent*1.13*1.13
+	if math.Abs(sol.EnergyVC-handE) > 0.005*handE {
+		t.Errorf("optimizer energy %v vs hand-derived %v", sol.EnergyVC, handE)
+	}
+	// Locate the stationarity zero-crossing along the constraint (v2 as a
+	// function of v1 from the deadline) and check it is near the optimum
+	// and has (near-)zero residual.
+	v2For := func(v1 float64) (float64, bool) {
+		f1 := vr.Scaling.Freq(v1)
+		rem := p.DeadlineUS - (p.TInvariant + p.NCache/f1)
+		if rem <= 0 {
+			return 0, false
+		}
+		f2 := p.NDependent / rem
+		if f2 > vr.FHi() || f2 < vr.FLo() {
+			return 0, false
+		}
+		return vr.Scaling.Voltage(f2), true
+	}
+	lo, hi := sol.V1-0.1, sol.V1+0.1
+	rAt := func(v1 float64) float64 {
+		v2, ok := v2For(v1)
+		if !ok {
+			return math.NaN()
+		}
+		return StationarityResidual(p, vr, v1, v2)
+	}
+	rl, rh := rAt(lo), rAt(hi)
+	if math.IsNaN(rl) || math.IsNaN(rh) || rl*rh > 0 {
+		t.Fatalf("no residual sign change near optimum: r(%.3f)=%v r(%.3f)=%v", lo, rl, hi, rh)
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if rAt(mid)*rl > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	vstar := (lo + hi) / 2
+	if math.Abs(rAt(vstar)) > 1e-6 {
+		t.Errorf("residual %v at its own zero-crossing", rAt(vstar))
+	}
+	if math.Abs(vstar-sol.V1) > 0.05 {
+		t.Errorf("stationary point v1*=%.4f far from numeric optimum %.4f", vstar, sol.V1)
+	}
+	// The energies at the stationary point and the numeric optimum agree.
+	v2s, _ := v2For(vstar)
+	eStar := p.R1()*vstar*vstar + p.NDependent*v2s*v2s
+	if math.Abs(eStar-sol.EnergyVC) > 0.002*sol.EnergyVC {
+		t.Errorf("stationary-point energy %v vs optimizer %v", eStar, sol.EnergyVC)
+	}
+}
+
+func TestStationarityForcesSingleVoltage(t *testing.T) {
+	// When the energy and time cycle counts at v1 coincide (computation-
+	// dominated), the condition reduces to v1 == v2: the residual vanishes
+	// exactly on the diagonal and nowhere else nearby.
+	p := computeDominated()
+	vr := DefaultVRange()
+	for _, v := range []float64{0.8, 1.0, 1.2, 1.5} {
+		if r := StationarityResidual(p, vr, v, v); math.Abs(r) > 1e-12 {
+			t.Errorf("diagonal residual %v at v=%v", r, v)
+		}
+		if r := StationarityResidual(p, vr, v, v*1.1); math.Abs(r) < 1e-3 {
+			t.Errorf("off-diagonal residual %v too small at v=%v", r, v)
+		}
+	}
+	// The numeric optimizer's compute-dominated optimum is single-voltage,
+	// so its residual must vanish.
+	sol, err := OptimizeContinuous(p, vr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := StationarityResidual(p, vr, sol.V1, sol.V2); math.Abs(r) > 5e-3 {
+		t.Errorf("residual %v at compute-dominated optimum", r)
+	}
+}
+
+func TestTimeSlopeSign(t *testing.T) {
+	// Below v = vt·a/(a−1)... concretely with a=1.5, vt=0.45 the per-cycle
+	// time derivative is negative for v < 1.8 V (faster clock wins) and
+	// positive above.
+	vr := DefaultVRange()
+	if s := timeSlope(vr, 1.0); s >= 0 {
+		t.Errorf("timeSlope(1.0) = %v, want negative", s)
+	}
+	if s := timeSlope(vr, 2.0); s <= 0 {
+		t.Errorf("timeSlope(2.0) = %v, want positive", s)
+	}
+}
+
+func TestStationarityDegenerateInputs(t *testing.T) {
+	vr := DefaultVRange()
+	p := Params{NOverlap: 1e6, NDependent: 0, NCache: 1e5, TInvariant: 10, DeadlineUS: 1e4}
+	if r := StationarityResidual(p, vr, 1.0, 1.2); r != 0 {
+		t.Errorf("residual %v with zero NDependent, want 0", r)
+	}
+}

@@ -1,0 +1,178 @@
+// Package cfg derives control-flow-graph structure from an ir.Program: the
+// edge set, predecessor/successor adjacency, reachability, and the local
+// paths (h → i → j block triples) on which the paper's MILP formulation
+// charges mode-transition costs (Section 4.2).
+//
+// Throughout the repository an edge is identified by its (From, To) block
+// pair; the virtual program-entry edge is (Entry → block 0) with
+// From == Entry (-1), modelling the processor's initial DVS mode before the
+// first block executes.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"ctdvs/internal/ir"
+)
+
+// Entry is the pseudo-block ID used as the source of the virtual entry edge.
+const Entry = -1
+
+// Edge is a control transfer from block From to block To. From may be Entry.
+type Edge struct {
+	From, To int
+}
+
+// String formats the edge as "h→i".
+func (e Edge) String() string {
+	if e.From == Entry {
+		return fmt.Sprintf("entry→%d", e.To)
+	}
+	return fmt.Sprintf("%d→%d", e.From, e.To)
+}
+
+// Path is a local path through block Mid: entering along (In → Mid) and
+// leaving along (Mid → Out). The paper's D_hij counts traversals of these
+// triples; transition costs are charged between the two edges' modes.
+type Path struct {
+	In, Mid, Out int
+}
+
+// InEdge returns the entering edge of the path.
+func (p Path) InEdge() Edge { return Edge{From: p.In, To: p.Mid} }
+
+// OutEdge returns the leaving edge of the path.
+func (p Path) OutEdge() Edge { return Edge{From: p.Mid, To: p.Out} }
+
+// String formats the path as "h→i→j".
+func (p Path) String() string {
+	if p.In == Entry {
+		return fmt.Sprintf("entry→%d→%d", p.Mid, p.Out)
+	}
+	return fmt.Sprintf("%d→%d→%d", p.In, p.Mid, p.Out)
+}
+
+// Graph is the control-flow structure of a program, including the virtual
+// entry edge.
+type Graph struct {
+	// NumBlocks is the number of real blocks.
+	NumBlocks int
+	// Edges lists all edges (virtual entry edge first), deterministically
+	// ordered.
+	Edges []Edge
+	// Paths lists all local paths (h, i, j): for every block i, every
+	// combination of an incoming edge (including the virtual entry edge for
+	// block 0) and an outgoing edge.
+	Paths []Path
+
+	edgeIndex map[Edge]int
+	succs     [][]int
+	preds     [][]int
+}
+
+// FromProgram builds the Graph of a validated program.
+func FromProgram(p *ir.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Blocks)
+	g := &Graph{
+		NumBlocks: n,
+		edgeIndex: make(map[Edge]int),
+		succs:     make([][]int, n),
+		preds:     make([][]int, n),
+	}
+
+	addEdge := func(e Edge) {
+		if _, dup := g.edgeIndex[e]; dup {
+			return
+		}
+		g.edgeIndex[e] = len(g.Edges)
+		g.Edges = append(g.Edges, e)
+		if e.From != Entry {
+			g.succs[e.From] = append(g.succs[e.From], e.To)
+		}
+		g.preds[e.To] = append(g.preds[e.To], e.From)
+	}
+
+	addEdge(Edge{From: Entry, To: p.Entry()})
+	for _, b := range p.Blocks {
+		// A two-target terminator may name the same block twice (a branch
+		// where both arms go to one place); the duplicate collapses into a
+		// single edge, matching how the simulator counts traversals.
+		for _, t := range b.Term.Targets() {
+			addEdge(Edge{From: b.ID, To: t})
+		}
+	}
+
+	// Local paths: per block, incoming × outgoing.
+	for i := 0; i < n; i++ {
+		preds := g.preds[i]
+		succs := g.succs[i]
+		for _, h := range preds {
+			for _, j := range succs {
+				g.Paths = append(g.Paths, Path{In: h, Mid: i, Out: j})
+			}
+		}
+	}
+	sort.Slice(g.Paths, func(a, b int) bool {
+		pa, pb := g.Paths[a], g.Paths[b]
+		if pa.Mid != pb.Mid {
+			return pa.Mid < pb.Mid
+		}
+		if pa.In != pb.In {
+			return pa.In < pb.In
+		}
+		return pa.Out < pb.Out
+	})
+	return g, nil
+}
+
+// EdgeID returns the dense index of edge e, or -1 if the edge does not exist.
+func (g *Graph) EdgeID(e Edge) int {
+	if i, ok := g.edgeIndex[e]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumEdges returns the number of edges including the virtual entry edge.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Succs returns the successor block IDs of block i.
+func (g *Graph) Succs(i int) []int { return g.succs[i] }
+
+// Preds returns the predecessor block IDs of block i (Entry included for the
+// entry block).
+func (g *Graph) Preds(i int) []int { return g.preds[i] }
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, g.NumBlocks)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs[b] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// CheckConnected reports an error naming the first unreachable block, if any.
+// The MILP formulation assumes every block can execute.
+func (g *Graph) CheckConnected() error {
+	seen := g.Reachable()
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("cfg: block %d is unreachable from entry", i)
+		}
+	}
+	return nil
+}

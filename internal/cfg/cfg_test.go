@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"testing"
+
+	"ctdvs/internal/ir"
+)
+
+// diamond builds: a → (b|c) → d → exit-ish structure:
+//
+//	0: entry, prob branch to 1 or 2
+//	1: then, jump 3
+//	2: else, jump 3
+//	3: join, exit
+func diamond() *ir.Program {
+	b := ir.NewBuilder("diamond")
+	a := b.Block("a")
+	then := b.Block("then")
+	els := b.Block("else")
+	join := b.Block("join")
+	a.Compute(1)
+	then.Compute(1)
+	els.Compute(1)
+	join.Compute(1)
+	b.ProbBranch(a, then, els, 0.5)
+	then.Jump(join)
+	els.Jump(join)
+	join.Exit()
+	return b.MustFinish()
+}
+
+func TestFromProgramDiamond(t *testing.T) {
+	g, err := FromProgram(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumBlocks != 4 {
+		t.Fatalf("blocks = %d", g.NumBlocks)
+	}
+	// Edges: entry→0, 0→1, 0→2, 1→3, 2→3.
+	if g.NumEdges() != 5 {
+		t.Fatalf("edges = %d, want 5: %v", g.NumEdges(), g.Edges)
+	}
+	if g.Edges[0] != (Edge{From: Entry, To: 0}) {
+		t.Errorf("first edge = %v, want virtual entry", g.Edges[0])
+	}
+	if g.EdgeID(Edge{From: 0, To: 1}) < 0 || g.EdgeID(Edge{From: 2, To: 3}) < 0 {
+		t.Error("expected edges missing")
+	}
+	if g.EdgeID(Edge{From: 1, To: 2}) != -1 {
+		t.Error("phantom edge present")
+	}
+	// Local paths: block 0 has in {entry} × out {1,2} = 2;
+	// block 1: in {0} × out {3} = 1; block 2: 1; block 3: in {1,2} × out {} = 0.
+	if len(g.Paths) != 4 {
+		t.Fatalf("paths = %d, want 4: %v", len(g.Paths), g.Paths)
+	}
+	if err := g.CheckConnected(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathsEdges(t *testing.T) {
+	g, err := FromProgram(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Paths {
+		if g.EdgeID(p.InEdge()) < 0 {
+			t.Errorf("path %v: in edge missing", p)
+		}
+		if g.EdgeID(p.OutEdge()) < 0 {
+			t.Errorf("path %v: out edge missing", p)
+		}
+	}
+}
+
+func TestLoopGraph(t *testing.T) {
+	b := ir.NewBuilder("loop")
+	head := b.Block("head")
+	exit := b.Block("exit")
+	head.Compute(1)
+	b.LoopBranch(head, head, exit, 5)
+	exit.Compute(1)
+	exit.Exit()
+	p := b.MustFinish()
+	g, err := FromProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: entry→0, 0→0 (back), 0→1.
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d: %v", g.NumEdges(), g.Edges)
+	}
+	// Self-loop paths: block 0 in {entry, 0} × out {0, 1} = 4.
+	// Block 1 has no successors.
+	if len(g.Paths) != 4 {
+		t.Fatalf("paths = %d: %v", len(g.Paths), g.Paths)
+	}
+}
+
+func TestBothArmsSameTargetCollapse(t *testing.T) {
+	b := ir.NewBuilder("same")
+	x := b.Block("x")
+	y := b.Block("y")
+	x.Compute(1)
+	b.ProbBranch(x, y, y, 0.5) // both arms to y
+	y.Compute(1)
+	y.Exit()
+	g, err := FromProgram(b.MustFinish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry→0, 0→1 only (duplicate collapsed).
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d: %v", g.NumEdges(), g.Edges)
+	}
+}
+
+func TestUnreachableBlockDetected(t *testing.T) {
+	b := ir.NewBuilder("dead")
+	x := b.Block("x")
+	dead := b.Block("dead")
+	x.Compute(1)
+	x.Exit()
+	dead.Compute(1)
+	dead.Exit()
+	g, err := FromProgram(b.MustFinish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConnected(); err == nil {
+		t.Error("unreachable block not detected")
+	}
+	r := g.Reachable()
+	if !r[0] || r[1] {
+		t.Errorf("reachable = %v", r)
+	}
+}
+
+func TestInvalidProgramRejected(t *testing.T) {
+	p := &ir.Program{Name: "bad"}
+	if _, err := FromProgram(p); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestEdgeAndPathStrings(t *testing.T) {
+	if s := (Edge{From: Entry, To: 0}).String(); s != "entry→0" {
+		t.Errorf("entry edge string = %q", s)
+	}
+	if s := (Edge{From: 2, To: 5}).String(); s != "2→5" {
+		t.Errorf("edge string = %q", s)
+	}
+	if s := (Path{In: Entry, Mid: 0, Out: 1}).String(); s != "entry→0→1" {
+		t.Errorf("path string = %q", s)
+	}
+	if s := (Path{In: 1, Mid: 2, Out: 3}).String(); s != "1→2→3" {
+		t.Errorf("path string = %q", s)
+	}
+}
+
+func TestSuccsPreds(t *testing.T) {
+	g, err := FromProgram(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Succs(0); len(s) != 2 {
+		t.Errorf("Succs(0) = %v", s)
+	}
+	if p := g.Preds(3); len(p) != 2 {
+		t.Errorf("Preds(3) = %v", p)
+	}
+	if p := g.Preds(0); len(p) != 1 || p[0] != Entry {
+		t.Errorf("Preds(0) = %v", p)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// SingleModeSchedule returns the trivial schedule that pins every edge to
+// one mode — the "best single frequency" baseline when the mode is chosen
+// with profile.BestSingleMode.
+func SingleModeSchedule(pr *profile.Profile, mode int, reg volt.Regulator) *sim.Schedule {
+	assign := make(map[cfg.Edge]int, pr.Graph.NumEdges())
+	for _, e := range pr.Graph.Edges {
+		assign[e] = mode
+	}
+	return &sim.Schedule{
+		Modes:      pr.Modes,
+		Assignment: assign,
+		Initial:    mode,
+		Regulator:  reg,
+	}
+}
+
+// HeuristicMemoryBound builds a schedule in the spirit of Hsu and Kremer's
+// compiler heuristic: slow down the memory-bound code regions — those whose
+// execution time is least sensitive to clock frequency — while the rest of
+// the program runs at the best single mode meeting the deadline.
+//
+// The region is grown greedily at block granularity: starting from the
+// all-base schedule, the block whose move to the slowest mode gives the
+// largest estimated energy reduction is added while the estimated time stays
+// within the deadline. Estimates are block-profile sums plus regulator
+// switching costs on edges crossing the region boundary, so the heuristic
+// does not ping-pong modes inside hot loops; it remains weaker than the MILP
+// because it considers one region at one target mode and never revisits
+// choices.
+func HeuristicMemoryBound(pr *profile.Profile, deadlineUS float64, reg volt.Regulator) (*sim.Schedule, error) {
+	base, _, ok := pr.BestSingleMode(deadlineUS)
+	if !ok {
+		return nil, ErrInfeasible
+	}
+	nm := pr.Modes.Len()
+	slow := 0
+	g := pr.Graph
+
+	blockMode := make([]int, g.NumBlocks)
+	for j := range blockMode {
+		blockMode[j] = base
+	}
+
+	// estimate returns the predicted time and energy of a block-granular
+	// mode assignment, charging ST/SE on every edge whose endpoints differ.
+	estimate := func(modes []int) (timeUS, energyUJ float64) {
+		for j := 0; j < g.NumBlocks; j++ {
+			inv := float64(pr.Invocations[j])
+			timeUS += inv * pr.TimeUS[j][modes[j]]
+			energyUJ += inv * pr.EnergyUJ[j][modes[j]]
+		}
+		for ei, e := range g.Edges {
+			if e.From == cfg.Entry {
+				continue
+			}
+			va := pr.Modes.Mode(modes[e.From]).V
+			vb := pr.Modes.Mode(modes[e.To]).V
+			if va != vb {
+				cnt := float64(pr.EdgeCounts[ei])
+				timeUS += cnt * reg.TransitionTime(va, vb)
+				energyUJ += cnt * reg.TransitionEnergy(va, vb)
+			}
+		}
+		return timeUS, energyUJ
+	}
+
+	_, bestE := estimate(blockMode)
+	if base != slow && nm > 1 {
+		for {
+			bestBlock := -1
+			var bestBlockE float64
+			for j := 0; j < g.NumBlocks; j++ {
+				if blockMode[j] == slow || pr.Invocations[j] == 0 {
+					continue
+				}
+				saved := blockMode[j]
+				blockMode[j] = slow
+				t, e := estimate(blockMode)
+				blockMode[j] = saved
+				if t <= deadlineUS && e < bestE-1e-12 && (bestBlock < 0 || e < bestBlockE) {
+					bestBlock, bestBlockE = j, e
+				}
+			}
+			if bestBlock < 0 {
+				break
+			}
+			blockMode[bestBlock] = slow
+			bestE = bestBlockE
+		}
+	}
+
+	assign := make(map[cfg.Edge]int, g.NumEdges())
+	for _, e := range g.Edges {
+		assign[e] = blockMode[e.To]
+	}
+	return &sim.Schedule{
+		Modes:      pr.Modes,
+		Assignment: assign,
+		Initial:    assign[cfg.Edge{From: cfg.Entry, To: 0}],
+		Regulator:  reg,
+	}, nil
+}
+
+// Evaluation is the measured outcome of running a schedule on the simulator.
+type Evaluation struct {
+	Run           *sim.Result
+	DeadlineUS    float64
+	MeetsDeadline bool
+	// SlackUS is deadline − measured time (negative when missed).
+	SlackUS float64
+}
+
+// Evaluate executes the schedule on the machine and checks it against the
+// deadline.
+func Evaluate(m *sim.Machine, pr *profile.Profile, sched *sim.Schedule, deadlineUS float64) (*Evaluation, error) {
+	res, err := m.RunDVS(pr.Program, pr.Input, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluation{
+		Run:           res,
+		DeadlineUS:    deadlineUS,
+		MeetsDeadline: res.TimeUS <= deadlineUS*(1+1e-9),
+		SlackUS:       deadlineUS - res.TimeUS,
+	}, nil
+}
+
+// SavingsVsBestSingle runs both the optimized schedule and the best
+// single-mode baseline and returns the measured energy-saving ratio
+// 1 − E_dvs/E_single (the quantity in the paper's Table 6 and Figure 17).
+func SavingsVsBestSingle(m *sim.Machine, pr *profile.Profile, sched *sim.Schedule, deadlineUS float64, reg volt.Regulator) (float64, error) {
+	mode, _, ok := pr.BestSingleMode(deadlineUS)
+	if !ok {
+		return 0, fmt.Errorf("core: no single mode meets deadline %v µs", deadlineUS)
+	}
+	baseRun, err := m.RunDVS(pr.Program, pr.Input, SingleModeSchedule(pr, mode, reg))
+	if err != nil {
+		return 0, err
+	}
+	dvsRun, err := m.RunDVS(pr.Program, pr.Input, sched)
+	if err != nil {
+		return 0, err
+	}
+	if baseRun.EnergyUJ <= 0 {
+		return 0, nil
+	}
+	return 1 - dvsRun.EnergyUJ/baseRun.EnergyUJ, nil
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/ir"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// twoPhase builds a program with a memory-bound phase (loads from a large
+// random working set, little compute) followed by a compute-bound phase.
+// Compile-time DVS should slow the first phase and hurry the second.
+func twoPhase(tripsA, tripsB int) *ir.Program {
+	b := ir.NewBuilder("two-phase")
+	mem := b.RandomStream(64 << 20)
+	phaseA := b.Block("memory-bound")
+	phaseB := b.Block("compute-bound")
+	exit := b.Block("exit")
+	phaseA.Load(mem).Compute(30).DependentCompute(5)
+	b.LoopBranch(phaseA, phaseA, phaseB, tripsA)
+	phaseB.Compute(120)
+	b.LoopBranch(phaseB, phaseB, exit, tripsB)
+	exit.Compute(1)
+	exit.Exit()
+	return b.MustFinish()
+}
+
+func collectTwoPhase(t *testing.T) (*sim.Machine, *profile.Profile) {
+	t.Helper()
+	m := sim.MustNew(sim.DefaultConfig())
+	pr, err := profile.Collect(m, twoPhase(3000, 3000), ir.Input{Name: "in", Seed: 7}, volt.XScale3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pr
+}
+
+func midDeadline(pr *profile.Profile) float64 {
+	// Between the fastest and slowest single-mode runs.
+	n := pr.Modes.Len()
+	return (pr.TotalTimeUS[n-1] + pr.TotalTimeUS[0]) / 2
+}
+
+func TestOptimizeMeetsDeadline(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("nil schedule")
+	}
+	ev, err := Evaluate(m, pr, res.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MILP plans with per-invocation averages; allow 2% tolerance on
+	// the measured run.
+	if ev.Run.TimeUS > dl*1.02 {
+		t.Errorf("measured time %v overshoots deadline %v", ev.Run.TimeUS, dl)
+	}
+	if math.Abs(res.PredictedTimeUS[0]-ev.Run.TimeUS) > 0.05*ev.Run.TimeUS {
+		t.Errorf("predicted time %v far from measured %v", res.PredictedTimeUS[0], ev.Run.TimeUS)
+	}
+	if math.Abs(res.PredictedEnergyUJ-ev.Run.EnergyUJ) > 0.05*ev.Run.EnergyUJ {
+		t.Errorf("predicted energy %v far from measured %v", res.PredictedEnergyUJ, ev.Run.EnergyUJ)
+	}
+}
+
+func TestOptimizeBeatsBestSingleMode(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SavingsVsBestSingle(m, pr, res.Schedule, dl, volt.DefaultRegulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.02 {
+		t.Errorf("savings vs best single mode = %v, want noticeably positive "+
+			"(two-phase program at a mid deadline)", s)
+	}
+}
+
+func TestLaxDeadlineUsesSlowestMode(t *testing.T) {
+	_, pr := collectTwoPhase(t)
+	dl := pr.TotalTimeUS[0] * 1.5
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything should sit at mode 0; predicted energy ≈ slowest run.
+	if math.Abs(res.PredictedEnergyUJ-pr.TotalEnergyUJ[0]) > 0.02*pr.TotalEnergyUJ[0] {
+		t.Errorf("lax-deadline energy %v, want ≈ %v", res.PredictedEnergyUJ, pr.TotalEnergyUJ[0])
+	}
+	if res.Schedule.Assignment[cfg.Edge{From: cfg.Entry, To: 0}] != 0 {
+		t.Error("entry edge not at slowest mode under lax deadline")
+	}
+}
+
+func TestTightDeadlineUsesFastestMode(t *testing.T) {
+	_, pr := collectTwoPhase(t)
+	n := pr.Modes.Len()
+	dl := pr.TotalTimeUS[n-1] * 1.001
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PredictedEnergyUJ-pr.TotalEnergyUJ[n-1]) > 0.03*pr.TotalEnergyUJ[n-1] {
+		t.Errorf("tight-deadline energy %v, want ≈ %v", res.PredictedEnergyUJ, pr.TotalEnergyUJ[n-1])
+	}
+}
+
+func TestInfeasibleDeadline(t *testing.T) {
+	_, pr := collectTwoPhase(t)
+	n := pr.Modes.Len()
+	_, err := OptimizeSingle(pr, pr.TotalTimeUS[n-1]*0.5, nil)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFilteringReducesVariablesKeepsEnergy(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	full, err := OptimizeSingle(pr, dl, &Options{FilterTail: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := OptimizeSingle(pr, dl, &Options{FilterTail: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.IndependentEdges > full.IndependentEdges {
+		t.Errorf("filtering increased independent edges: %d > %d",
+			filtered.IndependentEdges, full.IndependentEdges)
+	}
+	if full.IndependentEdges != full.TotalEdges {
+		t.Errorf("unfiltered run grouped edges: %d != %d", full.IndependentEdges, full.TotalEdges)
+	}
+	// Paper Table 3: the filtered optimum is essentially unchanged.
+	if filtered.PredictedEnergyUJ > full.PredictedEnergyUJ*1.01 {
+		t.Errorf("filtered energy %v much worse than full %v",
+			filtered.PredictedEnergyUJ, full.PredictedEnergyUJ)
+	}
+	// And the filtered schedule must still meet the deadline when run.
+	ev, err := Evaluate(m, pr, filtered.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Run.TimeUS > dl*1.02 {
+		t.Errorf("filtered schedule misses deadline: %v > %v", ev.Run.TimeUS, dl)
+	}
+}
+
+func TestTransitionCostAwareness(t *testing.T) {
+	// With an enormous regulator capacitance, transitions are ruinous: the
+	// transition-aware optimizer should schedule (nearly) none, while the
+	// transition-blind (Saputra-style) one switches freely and pays for it
+	// at run time.
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	reg := volt.DefaultRegulator().WithCapacitance(100e-6)
+
+	aware, err := OptimizeSingle(pr, dl, &Options{Regulator: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := OptimizeSingle(pr, dl, &Options{Regulator: reg, NoTransitionCosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awareEv, err := Evaluate(m, pr, aware.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindEv, err := Evaluate(m, pr, blind.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awareEv.Run.Transitions > 4 {
+		t.Errorf("aware schedule has %d transitions despite huge cost", awareEv.Run.Transitions)
+	}
+	if blindEv.Run.Transitions > 0 &&
+		awareEv.Run.EnergyUJ > blindEv.Run.EnergyUJ*(1+1e-9) {
+		t.Errorf("transition-aware energy %v worse than blind %v",
+			awareEv.Run.EnergyUJ, blindEv.Run.EnergyUJ)
+	}
+}
+
+func TestBlockBasedAblation(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	blk, err := OptimizeSingle(pr, dl, &Options{BlockBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := OptimizeSingle(pr, dl, &Options{FilterTail: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block-based is a restriction of edge-based: its optimum can't be
+	// better.
+	if blk.PredictedEnergyUJ < edge.PredictedEnergyUJ*(1-1e-6) {
+		t.Errorf("block-based %v beats edge-based %v", blk.PredictedEnergyUJ, edge.PredictedEnergyUJ)
+	}
+	if blk.IndependentEdges > edge.IndependentEdges {
+		t.Errorf("block-based has more groups (%d) than edges (%d)",
+			blk.IndependentEdges, edge.IndependentEdges)
+	}
+	ev, err := Evaluate(m, pr, blk.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Run.TimeUS > dl*1.02 {
+		t.Errorf("block-based schedule misses deadline")
+	}
+}
+
+func TestHeuristicBaseline(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	sched, err := HeuristicMemoryBound(pr, dl, volt.DefaultRegulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, pr, sched, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic ignores transition costs, so give it more slack.
+	if ev.Run.TimeUS > dl*1.05 {
+		t.Errorf("heuristic misses deadline badly: %v > %v", ev.Run.TimeUS, dl)
+	}
+	// MILP should be at least as good as the heuristic.
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resEv, err := Evaluate(m, pr, res.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEv.Run.EnergyUJ > ev.Run.EnergyUJ*1.02 {
+		t.Errorf("MILP energy %v worse than heuristic %v", resEv.Run.EnergyUJ, ev.Run.EnergyUJ)
+	}
+	// Infeasible deadline rejected.
+	if _, err := HeuristicMemoryBound(pr, 1, volt.DefaultRegulator()); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("heuristic accepted impossible deadline: %v", err)
+	}
+}
+
+func TestMultiCategoryOptimization(t *testing.T) {
+	// Two inputs steering different fractions of work through the heavy
+	// phase; the averaged optimization must meet both deadlines.
+	b := ir.NewBuilder("multi")
+	mem := b.RandomStream(64 << 20)
+	head := b.Block("head")
+	heavy := b.Block("heavy")
+	light := b.Block("light")
+	latch := b.Block("latch")
+	exit := b.Block("exit")
+	head.Compute(5)
+	pid := b.ProbBranch(head, heavy, light, 0.5)
+	heavy.Load(mem).Compute(50).DependentCompute(10)
+	heavy.Jump(latch)
+	light.Compute(40)
+	light.Jump(latch)
+	latch.Compute(2)
+	b.LoopBranch(latch, head, exit, 4000)
+	exit.Compute(1)
+	exit.Exit()
+	prog := b.MustFinish()
+
+	m := sim.MustNew(sim.DefaultConfig())
+	inA := ir.Input{Name: "heavy-mix", Seed: 3, Probs: map[int]float64{pid: 0.9}}
+	inB := ir.Input{Name: "light-mix", Seed: 4, Probs: map[int]float64{pid: 0.1}}
+	prA, err := profile.Collect(m, prog, inA, volt.XScale3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB, err := profile.Collect(m, prog, inB, volt.XScale3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlA := (prA.TotalTimeUS[2] + prA.TotalTimeUS[0]) / 2
+	dlB := (prB.TotalTimeUS[2] + prB.TotalTimeUS[0]) / 2
+	res, err := Optimize([]Category{
+		{Profile: prA, Weight: 1, DeadlineUS: dlA},
+		{Profile: prB, Weight: 1, DeadlineUS: dlB},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PredictedTimeUS) != 2 {
+		t.Fatalf("predicted times = %v", res.PredictedTimeUS)
+	}
+	evA, err := Evaluate(m, prA, res.Schedule, dlA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := Evaluate(m, prB, res.Schedule, dlB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evA.Run.TimeUS > dlA*1.03 {
+		t.Errorf("category A misses deadline: %v > %v", evA.Run.TimeUS, dlA)
+	}
+	if evB.Run.TimeUS > dlB*1.03 {
+		t.Errorf("category B misses deadline: %v > %v", evB.Run.TimeUS, dlB)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	_, pr := collectTwoPhase(t)
+	if _, err := Optimize(nil, nil); err == nil {
+		t.Error("empty categories accepted")
+	}
+	if _, err := Optimize([]Category{{Profile: pr, Weight: 0, DeadlineUS: 1}}, nil); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := Optimize([]Category{{Profile: pr, Weight: 1, DeadlineUS: 0}}, nil); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	if _, err := Optimize([]Category{{Profile: nil, Weight: 1, DeadlineUS: 1}}, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	bad := volt.Regulator{C: -1, U: 0.5, IMax: 1}
+	if _, err := OptimizeSingle(pr, midDeadline(pr), &Options{Regulator: bad}); err == nil {
+		t.Error("invalid regulator accepted")
+	}
+}
+
+func TestSolverStatsReported(t *testing.T) {
+	_, pr := collectTwoPhase(t)
+	res, err := OptimizeSingle(pr, midDeadline(pr), &Options{MILP: &milp.Options{MaxNodes: 100000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver == nil || res.Solver.Nodes < 1 {
+		t.Error("solver stats missing")
+	}
+	if res.TotalEdges != pr.Graph.NumEdges() {
+		t.Errorf("TotalEdges = %d", res.TotalEdges)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if uf.groups() != 5 {
+		t.Errorf("groups = %d", uf.groups())
+	}
+	uf.union(0, 1)
+	uf.union(1, 2)
+	uf.union(3, 4)
+	if uf.groups() != 2 {
+		t.Errorf("groups = %d", uf.groups())
+	}
+	if uf.find(0) != uf.find(2) {
+		t.Error("0 and 2 not joined")
+	}
+	if uf.find(0) == uf.find(3) {
+		t.Error("0 and 3 joined")
+	}
+	uf.union(2, 0) // same group: no-op, must not loop
+	if uf.groups() != 2 {
+		t.Errorf("groups after self-union = %d", uf.groups())
+	}
+}
+
+func TestSingleModeScheduleMatchesFixedRun(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	sched := SingleModeSchedule(pr, 1, volt.DefaultRegulator())
+	res, err := m.RunDVS(pr.Program, pr.Input, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions != 0 {
+		t.Errorf("transitions = %d", res.Transitions)
+	}
+	if math.Abs(res.TimeUS-pr.TotalTimeUS[1]) > 1e-9 {
+		t.Errorf("time %v != profiled %v", res.TimeUS, pr.TotalTimeUS[1])
+	}
+}

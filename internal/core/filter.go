@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/profile"
+)
+
+// unionFind tracks which control-flow edges share a single set of mode
+// variables. Filtering (paper Section 5.2) and the block-based ablation both
+// work by aliasing edges into groups.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the groups of a and b, keeping b's root. It is a no-op when
+// they already share a group.
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// groups returns the number of distinct roots.
+func (u *unionFind) groups() int {
+	n := 0
+	for i := range u.parent {
+		if u.find(i) == i {
+			n++
+		}
+	}
+	return n
+}
+
+// filterEdges applies the paper's 2 %-tail rule: edges whose cumulative
+// destination energy falls in the tail comprising less than `tail` of the
+// total energy lose their independent mode variables; each such edge (i, j)
+// is aliased to the incoming edge (k, i) of its source block with the
+// largest traversal count, so the mode never changes along (i, j) when block
+// i was entered along its hottest edge. Energies and counts are weighted
+// across categories. The virtual entry edge cannot be aliased (its source
+// has no incoming edges).
+//
+// Filtering only affects which energy terms can be optimized independently;
+// the timing constraints keep every edge, so deadlines are still met.
+func filterEdges(cats []Category, tail float64) *unionFind {
+	g := cats[0].Profile.Graph
+	uf := newUnionFind(g.NumEdges())
+	if tail <= 0 {
+		return uf
+	}
+	refMode := cats[0].Profile.Modes.Len() - 1 // "an arbitrarily selected mode"
+
+	energy := make([]float64, g.NumEdges())
+	total := 0.0
+	for e := range energy {
+		for _, c := range cats {
+			energy[e] += c.Weight * c.Profile.EdgeEnergy(e, refMode)
+		}
+		total += energy[e]
+	}
+	order := make([]int, len(energy))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return energy[order[a]] < energy[order[b]] })
+
+	cum := 0.0
+	for _, e := range order {
+		cum += energy[e]
+		if cum >= tail*total {
+			break
+		}
+		src := g.Edges[e].From
+		if src == cfg.Entry {
+			continue
+		}
+		hot := hottestIncoming(cats, src)
+		if hot < 0 || hot == e {
+			continue
+		}
+		uf.union(e, hot)
+	}
+	return uf
+}
+
+// hottestIncoming returns the incoming edge of block i with the largest
+// (weighted) traversal count, or -1 if the block has none.
+func hottestIncoming(cats []Category, i int) int {
+	g := cats[0].Profile.Graph
+	best, bestCount := -1, -1.0
+	for _, h := range g.Preds(i) {
+		id := g.EdgeID(cfg.Edge{From: h, To: i})
+		count := 0.0
+		for _, c := range cats {
+			count += c.Weight * float64(c.Profile.EdgeCounts[id])
+		}
+		if count > bestCount {
+			best, bestCount = id, count
+		}
+	}
+	return best
+}
+
+// filterKeep aliases every edge NOT in keep to its source block's hottest
+// incoming edge, giving independent mode variables only to the kept set
+// (plus whatever the aliasing chains terminate at). This generalizes the
+// paper's 2 %-tail rule to arbitrary keep-policies — package exp uses it
+// with Ball–Larus hot-path coverage, a concrete step of the paper's
+// Section 7 plan to move the formulation from edges to paths.
+func filterKeep(cats []Category, keep map[cfg.Edge]bool) *unionFind {
+	g := cats[0].Profile.Graph
+	uf := newUnionFind(g.NumEdges())
+	for ei, e := range g.Edges {
+		if keep[e] || e.From == cfg.Entry {
+			continue
+		}
+		hot := hottestIncoming(cats, e.From)
+		if hot < 0 || hot == ei {
+			continue
+		}
+		uf.union(ei, hot)
+	}
+	return uf
+}
+
+// blockBasedGroups aliases every incoming edge of a block together, reducing
+// the edge-based formulation to the block-based one of earlier work (one
+// mode decision per region regardless of entry path). Used by the
+// block-vs-edge ablation.
+func blockBasedGroups(pr *profile.Profile) *unionFind {
+	g := pr.Graph
+	uf := newUnionFind(g.NumEdges())
+	for j := 0; j < g.NumBlocks; j++ {
+		first := -1
+		for _, h := range g.Preds(j) {
+			id := g.EdgeID(cfg.Edge{From: h, To: j})
+			if first < 0 {
+				first = id
+			} else {
+				uf.union(id, first)
+			}
+		}
+	}
+	return uf
+}

@@ -1,0 +1,438 @@
+// Package core implements the paper's primary contribution: a profile-driven
+// mixed-integer linear program that chooses compile-time DVS mode settings on
+// control-flow-graph edges so program energy is minimized subject to a
+// deadline (paper Sections 4 and 5).
+//
+// The formulation extends Saputra et al.'s loop-nest ILP with:
+//
+//   - mode-transition energy and time costs (Burd–Brodersen regulator model),
+//     linearized with the paper's absolute-value trick;
+//   - edge-grained control: a mode decision per control-flow edge, so a block
+//     may run at different settings depending on its entry path;
+//   - multiple input-data categories: the objective is the weighted average
+//     energy over categories, with a deadline constraint per category;
+//   - the 2 %-energy-tail edge filtering of Section 5.2, which collapses
+//     cold edges onto their source block's hottest incoming edge and brings
+//     MILP solve times from hours to seconds at essentially no energy cost.
+//
+// Decision variables are binary k_ijm ("edge (i,j) sets mode m", one per
+// independent edge group and mode, with Σ_m k_ijm = 1) plus continuous
+// e/t variables bounding |V²| and |V| differences across local paths
+// (h → i → j). See DESIGN.md for the experiment index this package drives.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/lp"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// Category couples one input-data category's profile with its weight
+// (the paper's p_g, the probability of seeing inputs of this category) and
+// its deadline.
+type Category struct {
+	Profile    *profile.Profile
+	Weight     float64
+	DeadlineUS float64
+}
+
+// Options tunes the optimizer. The zero value uses the paper's defaults:
+// transition costs on, 2 % filtering, the default regulator.
+type Options struct {
+	// Regulator prices transitions; zero value selects volt.DefaultRegulator.
+	Regulator volt.Regulator
+	// FilterTail is the cumulative-energy fraction below which edges lose
+	// independent mode variables. Negative disables filtering; 0 selects the
+	// paper's 0.02.
+	FilterTail float64
+	// NoTransitionCosts drops the e/t terms from the formulation (Saputra
+	// et al.'s model); the simulator still charges real transition costs
+	// when the resulting schedule runs. Ablation only.
+	NoTransitionCosts bool
+	// BlockBased collapses each block's incoming edges to one decision,
+	// reducing the formulation to block (region) granularity. Ablation only.
+	BlockBased bool
+	// KeepIndependent, when non-nil, replaces tail filtering with an
+	// explicit policy: exactly these edges (plus the virtual entry edge and
+	// any aliasing-chain roots) keep independent mode variables; all other
+	// edges follow their source block's hottest incoming edge. Package exp
+	// derives keep-sets from Ball–Larus hot-path coverage.
+	KeepIndependent map[cfg.Edge]bool
+	// MILP tunes the branch-and-bound search.
+	MILP *milp.Options
+}
+
+// Result is the outcome of an optimization.
+type Result struct {
+	// Schedule is the mode-set placement to execute (nil if infeasible).
+	Schedule *sim.Schedule
+	// PredictedEnergyUJ is the objective value: weighted average program
+	// energy including predicted transition energies.
+	PredictedEnergyUJ float64
+	// PredictedTimeUS is the predicted execution time per category,
+	// including predicted transition times.
+	PredictedTimeUS []float64
+	// IndependentEdges is the number of edge groups with their own mode
+	// variables (equals TotalEdges when filtering is off).
+	IndependentEdges int
+	// TotalEdges is the number of control-flow edges (incl. virtual entry).
+	TotalEdges int
+	// Solver reports branch-and-bound statistics.
+	Solver *milp.Result
+}
+
+// ErrInfeasible reports that no mode assignment meets the deadline(s).
+var ErrInfeasible = errors.New("core: no schedule meets the deadline")
+
+// Optimize builds and solves the MILP for the given categories and returns
+// the optimal compile-time DVS schedule.
+func Optimize(cats []Category, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Regulator == (volt.Regulator{}) {
+		o.Regulator = volt.DefaultRegulator()
+	}
+	if err := o.Regulator.Validate(); err != nil {
+		return nil, err
+	}
+	if o.FilterTail == 0 {
+		o.FilterTail = 0.02
+	}
+	if len(cats) == 0 {
+		return nil, errors.New("core: no categories")
+	}
+	for i, c := range cats {
+		if c.Profile == nil {
+			return nil, fmt.Errorf("core: category %d has nil profile", i)
+		}
+	}
+	g := cats[0].Profile.Graph
+	modes := cats[0].Profile.Modes
+	wsum := 0.0
+	for i, c := range cats {
+		if c.Profile.Graph.NumEdges() != g.NumEdges() || c.Profile.Graph.NumBlocks != g.NumBlocks {
+			return nil, fmt.Errorf("core: category %d profiles a different program", i)
+		}
+		if c.Profile.Modes.Len() != modes.Len() {
+			return nil, fmt.Errorf("core: category %d uses a different mode set", i)
+		}
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("core: category %d has non-positive weight", i)
+		}
+		if c.DeadlineUS <= 0 {
+			return nil, fmt.Errorf("core: category %d has non-positive deadline", i)
+		}
+		wsum += c.Weight
+	}
+	// Normalize weights to probabilities.
+	norm := make([]Category, len(cats))
+	copy(norm, cats)
+	for i := range norm {
+		norm[i].Weight /= wsum
+	}
+
+	var uf *unionFind
+	switch {
+	case o.BlockBased:
+		uf = blockBasedGroups(norm[0].Profile)
+	case o.KeepIndependent != nil:
+		uf = filterKeep(norm, o.KeepIndependent)
+	default:
+		uf = filterEdges(norm, o.FilterTail)
+	}
+
+	f := buildFormulation(norm, modes, uf, o)
+	res, err := milp.Solve(f.problem, o.MILP)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case milp.Optimal, milp.Feasible:
+	case milp.Infeasible:
+		return nil, ErrInfeasible
+	default:
+		return nil, fmt.Errorf("core: solver stopped with status %v and no incumbent", res.Status)
+	}
+
+	return f.extract(res, norm, o)
+}
+
+// OptimizeSingle is Optimize for the common single-profile case.
+func OptimizeSingle(pr *profile.Profile, deadlineUS float64, opts *Options) (*Result, error) {
+	return Optimize([]Category{{Profile: pr, Weight: 1, DeadlineUS: deadlineUS}}, opts)
+}
+
+// formulation carries the variable layout of one MILP build.
+type formulation struct {
+	problem *milp.Problem
+	modes   *volt.ModeSet
+	graph   *cfg.Graph
+	uf      *unionFind
+
+	// kvar[root] = first variable index of that group's mode binaries
+	// (modes.Len() consecutive variables).
+	kvar map[int]int
+	// evar/tvar per unordered group pair.
+	evar map[[2]int]int
+	tvar map[[2]int]int
+	// pathD[pair][cat] aggregates D_hij per category for that group pair.
+	pathD map[[2]int][]float64
+
+	energyScale float64 // objective was divided by this
+	timeScale   []float64
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func buildFormulation(cats []Category, modes *volt.ModeSet, uf *unionFind, o Options) *formulation {
+	g := cats[0].Profile.Graph
+	nm := modes.Len()
+	f := &formulation{
+		problem: &milp.Problem{LP: lp.NewProblem()},
+		modes:   modes,
+		graph:   g,
+		uf:      uf,
+		kvar:    make(map[int]int),
+		evar:    make(map[[2]int]int),
+		tvar:    make(map[[2]int]int),
+		pathD:   make(map[[2]int][]float64),
+	}
+	p := f.problem.LP
+
+	// Aggregate weighted edge energies and per-category edge times per group.
+	// groupE[root][m] — objective coefficients; groupT[cat][root][m].
+	groupE := make(map[int][]float64)
+	groupT := make([]map[int][]float64, len(cats))
+	for ci := range cats {
+		groupT[ci] = make(map[int][]float64)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		root := uf.find(e)
+		dst := g.Edges[e].To
+		if groupE[root] == nil {
+			groupE[root] = make([]float64, nm)
+		}
+		for ci, c := range cats {
+			gcount := float64(c.Profile.EdgeCounts[e])
+			if gcount == 0 {
+				continue
+			}
+			if groupT[ci][root] == nil {
+				groupT[ci][root] = make([]float64, nm)
+			}
+			for m := 0; m < nm; m++ {
+				groupE[root][m] += c.Weight * gcount * c.Profile.EnergyUJ[dst][m]
+				groupT[ci][root][m] += gcount * c.Profile.TimeUS[dst][m]
+			}
+		}
+	}
+
+	// Scaling for conditioning: energies by the weighted fastest-mode
+	// program energy, times by each category's deadline.
+	f.energyScale = 0
+	for _, c := range cats {
+		f.energyScale += c.Weight * c.Profile.TotalEnergyUJ[nm-1]
+	}
+	if f.energyScale <= 0 {
+		f.energyScale = 1
+	}
+	f.timeScale = make([]float64, len(cats))
+	for ci, c := range cats {
+		f.timeScale[ci] = c.DeadlineUS
+	}
+
+	// Mode binaries per group, with SOS1 rows.
+	var sos [][]int
+	var ints []int
+	for e := 0; e < g.NumEdges(); e++ {
+		root := uf.find(e)
+		if _, ok := f.kvar[root]; !ok {
+			base := -1
+			row := make([]lp.Term, nm)
+			group := make([]int, nm)
+			for m := 0; m < nm; m++ {
+				v := p.AddVariable(groupE[root][m]/f.energyScale, 0, 1)
+				if m == 0 {
+					base = v
+				}
+				row[m] = lp.Term{Var: v, Coef: 1}
+				group[m] = v
+				ints = append(ints, v)
+			}
+			p.MustAddConstraint(row, lp.EQ, 1)
+			f.kvar[root] = base
+			sos = append(sos, group)
+		}
+	}
+	f.problem.Integers = ints
+	f.problem.SOS1 = sos
+
+	// Transition variables per unordered group pair with any path traffic.
+	vmax, vmin := modes.Max().V, modes.Min().V
+	eHi := vmax*vmax - vmin*vmin
+	tHi := vmax - vmin
+	for pi, path := range g.Paths {
+		gin := uf.find(g.EdgeID(path.InEdge()))
+		gout := uf.find(g.EdgeID(path.OutEdge()))
+		if gin == gout {
+			continue
+		}
+		// Paths never traversed in any category contribute nothing to
+		// energy or time; give them no transition variables.
+		traversed := false
+		for _, c := range cats {
+			if c.Profile.PathCounts[pi] > 0 {
+				traversed = true
+				break
+			}
+		}
+		if !traversed {
+			continue
+		}
+		key := pairKey(gin, gout)
+		if f.pathD[key] == nil {
+			f.pathD[key] = make([]float64, len(cats))
+		}
+		for ci, c := range cats {
+			f.pathD[key][ci] += float64(c.Profile.PathCounts[pi])
+		}
+		if o.NoTransitionCosts {
+			continue
+		}
+		if _, ok := f.evar[key]; !ok {
+			ev := p.AddVariable(0, 0, eHi) // objective set below
+			tv := p.AddVariable(0, 0, tHi)
+			f.evar[key] = ev
+			f.tvar[key] = tv
+			// |Σ_m k_am·Vm² − Σ_m k_bm·Vm²| ≤ e, same with Vm for t.
+			addAbs(p, f.kvar[key[0]], f.kvar[key[1]], nm, func(m int) float64 {
+				vm := modes.Mode(m).V
+				return vm * vm
+			}, ev)
+			addAbs(p, f.kvar[key[0]], f.kvar[key[1]], nm, func(m int) float64 {
+				return modes.Mode(m).V
+			}, tv)
+		}
+	}
+
+	// Transition objective coefficients: CE · Σ_g p_g · D (skipped entirely
+	// in the no-transition-cost ablation).
+	if !o.NoTransitionCosts {
+		ce := o.Regulator.CE()
+		for key, ev := range f.evar {
+			wd := 0.0
+			for ci, c := range cats {
+				wd += c.Weight * f.pathD[key][ci]
+			}
+			p.SetObjective(ev, ce*wd/f.energyScale)
+		}
+	}
+
+	// Deadline constraint per category.
+	ct := o.Regulator.CT()
+	for ci, c := range cats {
+		var terms []lp.Term
+		for root, times := range groupT[ci] {
+			base := f.kvar[root]
+			for m := 0; m < nm; m++ {
+				if times[m] != 0 {
+					terms = append(terms, lp.Term{Var: base + m, Coef: times[m] / f.timeScale[ci]})
+				}
+			}
+		}
+		if !o.NoTransitionCosts {
+			for key, tv := range f.tvar {
+				if d := f.pathD[key][ci]; d > 0 {
+					terms = append(terms, lp.Term{Var: tv, Coef: ct * d / f.timeScale[ci]})
+				}
+			}
+		}
+		p.MustAddConstraint(terms, lp.LE, c.DeadlineUS/f.timeScale[ci])
+	}
+
+	return f
+}
+
+// addAbs emits the two rows −e ≤ Σ_m w(m)(k_am − k_bm) ≤ e.
+func addAbs(p *lp.Problem, baseA, baseB, nm int, w func(int) float64, e int) {
+	terms := make([]lp.Term, 0, 2*nm+1)
+	for m := 0; m < nm; m++ {
+		terms = append(terms,
+			lp.Term{Var: baseA + m, Coef: w(m)},
+			lp.Term{Var: baseB + m, Coef: -w(m)})
+	}
+	upper := append(append([]lp.Term(nil), terms...), lp.Term{Var: e, Coef: -1})
+	p.MustAddConstraint(upper, lp.LE, 0)
+	lower := append(terms, lp.Term{Var: e, Coef: 1})
+	p.MustAddConstraint(lower, lp.GE, 0)
+}
+
+// extract converts a solver incumbent into a Schedule and predictions.
+func (f *formulation) extract(res *milp.Result, cats []Category, o Options) (*Result, error) {
+	g := f.graph
+	nm := f.modes.Len()
+	assign := make(map[cfg.Edge]int, g.NumEdges())
+	groupMode := make(map[int]int)
+	for root, base := range f.kvar {
+		best, bestV := 0, -1.0
+		for m := 0; m < nm; m++ {
+			if v := res.X[base+m]; v > bestV {
+				best, bestV = m, v
+			}
+		}
+		groupMode[root] = best
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		assign[g.Edges[e]] = groupMode[f.uf.find(e)]
+	}
+	entryMode := assign[cfg.Edge{From: cfg.Entry, To: 0}]
+
+	out := &Result{
+		Schedule: &sim.Schedule{
+			Modes:      f.modes,
+			Assignment: assign,
+			Initial:    entryMode,
+			Regulator:  o.Regulator,
+		},
+		PredictedEnergyUJ: res.Objective * f.energyScale,
+		PredictedTimeUS:   make([]float64, len(cats)),
+		IndependentEdges:  f.uf.groups(),
+		TotalEdges:        g.NumEdges(),
+		Solver:            res,
+	}
+
+	// Predicted per-category times: recompute from the incumbent.
+	ct := o.Regulator.CT()
+	for ci, c := range cats {
+		t := 0.0
+		for e := 0; e < g.NumEdges(); e++ {
+			dst := g.Edges[e].To
+			m := groupMode[f.uf.find(e)]
+			t += float64(c.Profile.EdgeCounts[e]) * c.Profile.TimeUS[dst][m]
+		}
+		for key, d := range f.pathD {
+			if d[ci] == 0 {
+				continue
+			}
+			va := f.modes.Mode(groupMode[key[0]]).V
+			vb := f.modes.Mode(groupMode[key[1]]).V
+			t += ct * d[ci] * math.Abs(va-vb)
+		}
+		out.PredictedTimeUS[ci] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+)
+
+// Placement summarizes the static code changes a schedule implies: which
+// edges need a mode-set instruction at all. The MILP assigns a mode to every
+// edge, but a mode-set instruction on edge (i, j) is *silent* — never fires
+// at run time — when every profiled way of reaching block i already leaves
+// the processor in (i, j)'s mode; the paper notes such instructions can be
+// removed or hoisted by a compiler post-pass (Section 4.2: "a mode set
+// instruction in the backward edge of a heavily executed loop will be silent
+// for all but possibly the first iteration").
+type Placement struct {
+	// Required lists the edges that must carry a mode-set instruction,
+	// deterministically ordered.
+	Required []cfg.Edge
+	// Silent lists the edges whose assignment never changes the mode at run
+	// time and can be omitted entirely.
+	Silent []cfg.Edge
+	// Hoistable lists required edges that are loop back or entry edges
+	// whose instruction fires at most once per loop entry (the transition
+	// count along the edge is far below its traversal count), the paper's
+	// hoisting candidates.
+	Hoistable []cfg.Edge
+}
+
+// StaticModeSets returns len(p.Required), the number of mode-set
+// instructions a compiler must emit for the schedule.
+func (p *Placement) StaticModeSets() int { return len(p.Required) }
+
+// PlaceModeSets analyses a schedule against a profile and classifies every
+// edge assignment as required, silent, or hoistable.
+//
+// An edge (i, j) is silent when, for every profiled in-edge (h, i) with
+// non-zero traversal count, the mode after (h, i) equals (i, j)'s mode —
+// then the instruction never observes a different current mode. The entry
+// edge is silent when it matches the schedule's initial mode. Classification
+// uses only profile counts, so an unprofiled path could in principle fire a
+// "silent" instruction; a conservative compiler would keep them, an
+// aggressive one (as evaluated here, matching the paper's run-time
+// accounting which charges nothing for same-mode sets) removes them.
+func PlaceModeSets(pr *profile.Profile, sched *sim.Schedule) *Placement {
+	g := pr.Graph
+	pl := &Placement{}
+
+	modeOf := func(e cfg.Edge) int {
+		if m, ok := sched.Assignment[e]; ok {
+			return m
+		}
+		return -1 // no instruction: keeps the current mode
+	}
+
+	for ei, e := range g.Edges {
+		m, ok := sched.Assignment[e]
+		if !ok {
+			continue
+		}
+		if pr.EdgeCounts[ei] == 0 {
+			// Never executed: trivially silent.
+			pl.Silent = append(pl.Silent, e)
+			continue
+		}
+		silent := true
+		if e.From == cfg.Entry {
+			silent = m == sched.Initial
+		} else {
+			for _, h := range g.Preds(e.From) {
+				in := cfg.Edge{From: h, To: e.From}
+				if pr.EdgeCounts[g.EdgeID(in)] == 0 {
+					continue
+				}
+				if modeOf(in) != m {
+					silent = false
+					break
+				}
+			}
+		}
+		if silent {
+			pl.Silent = append(pl.Silent, e)
+			continue
+		}
+		pl.Required = append(pl.Required, e)
+		// Hoisting candidate: a back edge (target dominates in the loop
+		// sense: the edge re-enters a block it descends from) whose
+		// instruction fires only on mode disagreements, which the profile
+		// bounds by the number of loop entries rather than iterations.
+		if transitions := profiledTransitions(pr, sched, e); transitions*10 < pr.EdgeCounts[ei] {
+			pl.Hoistable = append(pl.Hoistable, e)
+		}
+	}
+
+	sortEdges(pl.Required)
+	sortEdges(pl.Silent)
+	sortEdges(pl.Hoistable)
+	return pl
+}
+
+// profiledTransitions counts how many traversals of edge e actually change
+// the mode, using the local-path profile: a traversal entering e's source
+// along (h, i) fires iff mode(h, i) ≠ mode(e).
+func profiledTransitions(pr *profile.Profile, sched *sim.Schedule, e cfg.Edge) int64 {
+	g := pr.Graph
+	m := sched.Assignment[e]
+	if e.From == cfg.Entry {
+		if m != sched.Initial {
+			return 1
+		}
+		return 0
+	}
+	var fires int64
+	for pi, p := range g.Paths {
+		if p.Mid != e.From || p.Out != e.To {
+			continue
+		}
+		in := cfg.Edge{From: p.In, To: p.Mid}
+		if inMode, ok := sched.Assignment[in]; !ok || inMode != m {
+			fires += pr.PathCounts[pi]
+		}
+	}
+	return fires
+}
+
+// Strip returns a copy of the schedule with all silent assignments removed.
+// Executing the stripped schedule on the profiled input is behaviourally
+// identical (same modes everywhere, same transitions); it simply emits
+// fewer static instructions.
+func (p *Placement) Strip(sched *sim.Schedule) *sim.Schedule {
+	out := &sim.Schedule{
+		Modes:      sched.Modes,
+		Initial:    sched.Initial,
+		Regulator:  sched.Regulator,
+		Assignment: make(map[cfg.Edge]int, len(p.Required)),
+	}
+	for _, e := range p.Required {
+		out.Assignment[e] = sched.Assignment[e]
+	}
+	return out
+}
+
+func sortEdges(es []cfg.Edge) {
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].From != es[b].From {
+			return es[a].From < es[b].From
+		}
+		return es[a].To < es[b].To
+	})
+}

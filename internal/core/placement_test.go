@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/volt"
+)
+
+func TestPlacementClassification(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := PlaceModeSets(pr, res.Schedule)
+
+	// Every assigned edge is classified exactly once.
+	classified := map[cfg.Edge]int{}
+	for _, e := range pl.Required {
+		classified[e]++
+	}
+	for _, e := range pl.Silent {
+		classified[e]++
+	}
+	if len(classified) != len(res.Schedule.Assignment) {
+		t.Errorf("classified %d edges, schedule has %d", len(classified), len(res.Schedule.Assignment))
+	}
+	for e, n := range classified {
+		if n != 1 {
+			t.Errorf("edge %v classified %d times", e, n)
+		}
+	}
+	// Hoistable ⊆ Required.
+	req := map[cfg.Edge]bool{}
+	for _, e := range pl.Required {
+		req[e] = true
+	}
+	for _, e := range pl.Hoistable {
+		if !req[e] {
+			t.Errorf("hoistable edge %v not in required set", e)
+		}
+	}
+	if pl.StaticModeSets() != len(pl.Required) {
+		t.Error("StaticModeSets mismatch")
+	}
+	// Some instructions must be removable: a loop's back edge repeats its
+	// own mode, so at most a handful of edges genuinely switch.
+	if len(pl.Silent) == 0 {
+		t.Error("expected at least one silent mode-set (loop back edges repeat modes)")
+	}
+
+	// The stripped schedule must behave identically on the profiled input.
+	stripped := pl.Strip(res.Schedule)
+	full, err := m.RunDVS(pr.Program, pr.Input, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := m.RunDVS(pr.Program, pr.Input, stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Transitions != lean.Transitions {
+		t.Errorf("transitions changed after strip: %d vs %d", full.Transitions, lean.Transitions)
+	}
+	if math.Abs(full.EnergyUJ-lean.EnergyUJ) > 1e-9 || math.Abs(full.TimeUS-lean.TimeUS) > 1e-9 {
+		t.Errorf("behaviour changed after strip: %v/%v vs %v/%v",
+			full.TimeUS, full.EnergyUJ, lean.TimeUS, lean.EnergyUJ)
+	}
+	if len(stripped.Assignment) >= len(res.Schedule.Assignment) {
+		t.Errorf("strip removed nothing: %d vs %d", len(stripped.Assignment), len(res.Schedule.Assignment))
+	}
+}
+
+func TestPlacementSingleModeAllSilentButEntry(t *testing.T) {
+	_, pr := collectTwoPhase(t)
+	sched := SingleModeSchedule(pr, 1, volt.DefaultRegulator())
+	// Initial mode equals the single mode, so even the entry edge is silent.
+	pl := PlaceModeSets(pr, sched)
+	if len(pl.Required) != 0 {
+		t.Errorf("single-mode schedule requires %d instructions: %v", len(pl.Required), pl.Required)
+	}
+	if len(pl.Silent) != len(sched.Assignment) {
+		t.Errorf("silent = %d, want %d", len(pl.Silent), len(sched.Assignment))
+	}
+}
+
+func TestProfiledTransitionsMatchesSimulator(t *testing.T) {
+	m, pr := collectTwoPhase(t)
+	dl := midDeadline(pr)
+	res, err := OptimizeSingle(pr, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of per-edge profiled transition counts must equal the simulator's
+	// dynamic transition count.
+	var predicted int64
+	for e := range res.Schedule.Assignment {
+		predicted += profiledTransitions(pr, res.Schedule, e)
+	}
+	run, err := m.RunDVS(pr.Program, pr.Input, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted != run.Transitions {
+		t.Errorf("profiled transitions %d != simulated %d", predicted, run.Transitions)
+	}
+}

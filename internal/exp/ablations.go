@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/volt"
+)
+
+// AblationRow compares the full optimizer against one restricted variant on
+// one benchmark: predicted and measured energy, measured transitions, and
+// whether the measured run met the deadline.
+type AblationRow struct {
+	Benchmark string
+
+	FullEnergyUJ    float64
+	VariantEnergyUJ float64
+
+	FullTransitions    int64
+	VariantTransitions int64
+
+	FullMeets    bool
+	VariantMeets bool
+}
+
+// ablate runs the full optimizer and a variant produced by mkVariant at
+// Deadline 3 (mid-range, where mode mixing is richest) and measures both.
+func ablate(c *Config, reg volt.Regulator, variant func(pr *coreProfile) (*core.Result, error)) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		dl := dls[2]
+		full, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", bench, err)
+		}
+		varRes, err := variant(&coreProfile{pr: pr, deadline: dl})
+		if err != nil {
+			return nil, fmt.Errorf("%s variant: %w", bench, err)
+		}
+		fullEv, err := core.Evaluate(c.Machine, pr, full.Schedule, dl)
+		if err != nil {
+			return nil, err
+		}
+		varEv, err := core.Evaluate(c.Machine, pr, varRes.Schedule, dl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Benchmark:          bench,
+			FullEnergyUJ:       fullEv.Run.EnergyUJ,
+			VariantEnergyUJ:    varEv.Run.EnergyUJ,
+			FullTransitions:    fullEv.Run.Transitions,
+			VariantTransitions: varEv.Run.Transitions,
+			FullMeets:          fullEv.MeetsDeadline,
+			VariantMeets:       varEv.Run.TimeUS <= dl*1.02,
+		})
+	}
+	return rows, nil
+}
+
+// AblationNoTransitionCost compares against the Saputra-style formulation
+// that ignores switching costs in the optimization (the schedule still pays
+// them when executed). Run with an expensive regulator (c = 100 µF) to make
+// the blindness visible, as in the paper's motivation for Section 4.2.
+func AblationNoTransitionCost(c *Config) ([]AblationRow, error) {
+	reg := volt.DefaultRegulator().WithCapacitance(100e-6)
+	return ablate(c, reg, func(p *coreProfile) (*core.Result, error) {
+		return core.OptimizeSingle(p.pr, p.deadline, &core.Options{
+			Regulator: reg, NoTransitionCosts: true, MILP: c.MILP,
+		})
+	})
+}
+
+// AblationBlockBased compares the edge-based formulation against the
+// block-based restriction of earlier work (one mode decision per region).
+func AblationBlockBased(c *Config) ([]AblationRow, error) {
+	reg := volt.DefaultRegulator()
+	return ablate(c, reg, func(p *coreProfile) (*core.Result, error) {
+		return core.OptimizeSingle(p.pr, p.deadline, &core.Options{
+			Regulator: reg, BlockBased: true, MILP: c.MILP,
+		})
+	})
+}
+
+// AblationHeuristic compares the MILP against the Hsu–Kremer-style
+// memory-bound-region heuristic.
+func AblationHeuristic(c *Config) ([]AblationRow, error) {
+	reg := volt.DefaultRegulator()
+	return ablate(c, reg, func(p *coreProfile) (*core.Result, error) {
+		sched, err := core.HeuristicMemoryBound(p.pr, p.deadline, reg)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Result{Schedule: sched}, nil
+	})
+}
+
+// RenderAblation formats an ablation comparison.
+func RenderAblation(title string, rows []AblationRow) *Table {
+	t := &Table{
+		Title: title,
+		Headers: []string{"Benchmark", "E(full) µJ", "E(variant) µJ",
+			"sw(full)", "sw(variant)", "meets(full)", "meets(variant)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.1f", r.FullEnergyUJ), fmt.Sprintf("%.1f", r.VariantEnergyUJ),
+			fmt.Sprintf("%d", r.FullTransitions), fmt.Sprintf("%d", r.VariantTransitions),
+			fmt.Sprintf("%v", r.FullMeets), fmt.Sprintf("%v", r.VariantMeets),
+		})
+	}
+	return t
+}

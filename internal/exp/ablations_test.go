@@ -1,0 +1,67 @@
+package exp
+
+import "testing"
+
+func TestAblationNoTransitionCost(t *testing.T) {
+	c := testConfig()
+	rows, err := AblationNoTransitionCost(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.FullMeets {
+			t.Errorf("%s: transition-aware schedule missed its deadline", r.Benchmark)
+		}
+		// At c = 100 µF, the transition-aware optimizer pays attention to
+		// switches; if the blind variant switches at all, the aware one
+		// must not come out worse on measured energy.
+		if r.VariantTransitions > 0 && r.FullEnergyUJ > r.VariantEnergyUJ*1.001 {
+			t.Errorf("%s: aware energy %v worse than blind %v",
+				r.Benchmark, r.FullEnergyUJ, r.VariantEnergyUJ)
+		}
+	}
+	if len(RenderAblation("x", rows).Rows) != 6 {
+		t.Error("render mismatch")
+	}
+}
+
+func TestAblationBlockBased(t *testing.T) {
+	c := testConfig()
+	rows, err := AblationBlockBased(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.FullMeets || !r.VariantMeets {
+			t.Errorf("%s: schedules missed deadlines (full=%v variant=%v)",
+				r.Benchmark, r.FullMeets, r.VariantMeets)
+		}
+		// Edge-based subsumes block-based; measured energy should not be
+		// noticeably worse.
+		if r.FullEnergyUJ > r.VariantEnergyUJ*1.02 {
+			t.Errorf("%s: edge-based energy %v above block-based %v",
+				r.Benchmark, r.FullEnergyUJ, r.VariantEnergyUJ)
+		}
+	}
+}
+
+func TestAblationHeuristic(t *testing.T) {
+	c := testConfig()
+	rows, err := AblationHeuristic(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.FullMeets {
+			t.Errorf("%s: MILP schedule missed deadline", r.Benchmark)
+		}
+		// The exact optimizer should not lose to the greedy heuristic.
+		if r.FullEnergyUJ > r.VariantEnergyUJ*1.02 {
+			t.Errorf("%s: MILP energy %v above heuristic %v",
+				r.Benchmark, r.FullEnergyUJ, r.VariantEnergyUJ)
+		}
+	}
+}

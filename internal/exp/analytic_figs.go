@@ -1,0 +1,376 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"ctdvs/internal/analytic"
+	"ctdvs/internal/volt"
+)
+
+// figVRange is the continuous voltage range used for the analytic-model
+// figures. The paper plots supply voltages up to 3.5 V (Figures 2–4) and its
+// Figure 5–7 parameter sets require multi-GHz peak frequencies to be
+// feasible; the paper does not state the technology constant k it used, so
+// we calibrate one that makes its parameter ranges feasible: f(3.5 V) = 6 GHz
+// under the alpha-power law with a = 1.5, vt = 0.45 V.
+func figVRange() analytic.VRange {
+	sc := volt.Scaling{A: volt.Alpha, Vt: volt.VThreshold, K: 1}
+	sc.K = 6000 / sc.Freq(3.5) // with K=1, Freq returns the unit factor
+	return analytic.VRange{Lo: 0.5, Hi: 3.5, Scaling: sc}
+}
+
+// v1Grid samples the voltage axis of the v1 curves.
+func v1Grid(vr analytic.VRange, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = vr.Lo + (vr.Hi-vr.Lo)*float64(i)/float64(n-1)
+	}
+	return xs
+}
+
+// Figure2 reproduces the computation-dominated energy-versus-v1 curve: a
+// single interior minimum at v_ideal, where both regions share one voltage.
+func Figure2() *Curve {
+	p := analytic.Params{
+		NOverlap:   4e6,
+		NDependent: 5.8e6,
+		NCache:     3e5,
+		TInvariant: 100,
+		DeadlineUS: 9000,
+	}
+	return energyCurve("Figure 2: computation-dominated energy vs v1", p)
+}
+
+// Figure3 reproduces the memory-dominated curve: the optimum sits at a v1
+// below v_ideal (slow overlapped region, hurry-up dependent region).
+func Figure3() *Curve {
+	p := analytic.Params{
+		NOverlap:   4e6,
+		NDependent: 5.8e6,
+		NCache:     3e5,
+		TInvariant: 3000,
+		DeadlineUS: 5000,
+	}
+	return energyCurve("Figure 3: memory-dominated energy vs v1", p)
+}
+
+// Figure4 reproduces the memory-dominated-with-slack curve (NCache ≥
+// NOverlap): convex with a single-voltage optimum.
+func Figure4() *Curve {
+	p := analytic.Params{
+		NOverlap:   2e5,
+		NDependent: 5e6,
+		NCache:     2e6,
+		TInvariant: 2000,
+		DeadlineUS: 9000,
+	}
+	return energyCurve("Figure 4: memory-dominated-with-slack energy vs v1", p)
+}
+
+func energyCurve(name string, p analytic.Params) *Curve {
+	vr := figVRange()
+	xs := v1Grid(vr, 120)
+	ys := analytic.EnergyVsV1(p, vr, xs)
+	return &Curve{
+		Name:   name,
+		XLabel: "v1 (V)",
+		YLabel: "energy (V²·cycles)",
+		X:      xs,
+		Y:      ys,
+	}
+}
+
+// continuousSurface sweeps two parameters and records the continuous-case
+// energy-saving ratio; infeasible points record 0 (the paper's flat
+// regions).
+func continuousSurface(name, xl, yl string, xs, ys []float64,
+	mk func(x, y float64) analytic.Params) *Surface {
+
+	vr := figVRange()
+	z := make([][]float64, len(xs))
+	for i, x := range xs {
+		z[i] = make([]float64, len(ys))
+		for j, y := range ys {
+			s, err := analytic.SavingsContinuous(mk(x, y), vr)
+			if err != nil {
+				s = 0
+			}
+			z[i][j] = s
+		}
+	}
+	return &Surface{Name: name, XLabel: xl, YLabel: yl, ZLabel: "energy-saving ratio", X: xs, Y: ys, Z: z}
+}
+
+// discreteSurface is continuousSurface for a discrete mode set.
+func discreteSurface(name, xl, yl string, ms *volt.ModeSet, xs, ys []float64,
+	mk func(x, y float64) analytic.Params) *Surface {
+
+	z := make([][]float64, len(xs))
+	for i, x := range xs {
+		z[i] = make([]float64, len(ys))
+		for j, y := range ys {
+			s, err := analytic.SavingsDiscrete(mk(x, y), ms)
+			if err != nil {
+				s = 0
+			}
+			z[i][j] = s
+		}
+	}
+	return &Surface{Name: name, XLabel: xl, YLabel: yl, ZLabel: "energy-saving ratio", X: xs, Y: ys, Z: z}
+}
+
+// grid returns n evenly spaced values over [lo, hi].
+func grid(lo, hi float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return xs
+}
+
+// Figure5 sweeps (NOverlap, NDependent) in the continuous case
+// (NCache = 3×10⁵ cycles, tdeadline = 3000 µs, tinvariant = 1000 µs).
+func Figure5(n int) *Surface {
+	return continuousSurface(
+		"Figure 5: continuous savings vs (Noverlap, Ndependent)",
+		"Noverlap(Kcyc)", "Ndependent(Kcyc)",
+		grid(200, 1800, n), grid(0, 1500, n),
+		func(x, y float64) analytic.Params {
+			return analytic.Params{
+				NOverlap: x * 1e3, NDependent: y * 1e3,
+				NCache: 3e5, TInvariant: 1000, DeadlineUS: 3000,
+			}
+		})
+}
+
+// Figure6 sweeps (NCache, tinvariant) in the continuous case
+// (NOverlap = 4×10⁶, NDependent = 5.8×10⁶ cycles, tdeadline = 5000 µs).
+func Figure6(n int) *Surface {
+	return continuousSurface(
+		"Figure 6: continuous savings vs (Ncache, tinvariant)",
+		"Ncache(Kcyc)", "tinvariant(µs)",
+		grid(200, 1800, n), grid(500, 3500, n),
+		func(x, y float64) analytic.Params {
+			return analytic.Params{
+				NOverlap: 4e6, NDependent: 5.8e6,
+				NCache: x * 1e3, TInvariant: y, DeadlineUS: 5000,
+			}
+		})
+}
+
+// Figure7 sweeps (tdeadline, NCache) in the continuous case
+// (NOverlap = 4×10⁶, NDependent = 5.7×10⁶ cycles, tinvariant = 1000 µs).
+func Figure7(n int) *Surface {
+	return continuousSurface(
+		"Figure 7: continuous savings vs (tdeadline, Ncache)",
+		"tdeadline(µs)", "Ncache(Kcyc)",
+		grid(1500, 5000, n), grid(500, 4000, n),
+		func(x, y float64) analytic.Params {
+			return analytic.Params{
+				NOverlap: 4e6, NDependent: 5.7e6,
+				NCache: y * 1e3, TInvariant: 1000, DeadlineUS: x,
+			}
+		})
+}
+
+// Figure8 plots the paper's Emin(y) staircase for the discrete
+// memory-dominated construction at 7 voltage levels.
+func Figure8(n int) (*Curve, error) {
+	ms, err := volt.Levels(7)
+	if err != nil {
+		return nil, err
+	}
+	p := analytic.Params{
+		NOverlap:   4e6,
+		NDependent: 5.8e6,
+		NCache:     3e5,
+		TInvariant: 8000,
+		DeadlineUS: 16000,
+	}
+	// The construction is only feasible on a band of y (the cache stream
+	// must run within the mode set's frequency span and the leftover
+	// overlap computation must fit in the miss window); locate the band
+	// with a fine scan, then sample it densely as the paper's plot does.
+	span := p.DeadlineUS - p.TInvariant
+	const probe = 4096
+	yLo, yHi := -1.0, -1.0
+	for i := 1; i < probe; i++ {
+		y := span * float64(i) / probe
+		if !isInf(analytic.EminOfY(p, ms, y)) {
+			if yLo < 0 {
+				yLo = y
+			}
+			yHi = y
+		}
+	}
+	xs := make([]float64, 0, n)
+	ys := make([]float64, 0, n)
+	if yLo > 0 {
+		for i := 0; i <= n; i++ {
+			y := yLo + (yHi-yLo)*float64(i)/float64(n)
+			e := analytic.EminOfY(p, ms, y)
+			if isInf(e) {
+				continue
+			}
+			xs = append(xs, y)
+			ys = append(ys, e)
+		}
+	}
+	return &Curve{
+		Name:   "Figure 8: discrete case Emin(y) vs y (7 levels)",
+		XLabel: "y (µs)",
+		YLabel: "energy (V²·cycles)",
+		X:      xs,
+		Y:      ys,
+	}, nil
+}
+
+// Figure9 sweeps (NOverlap, NDependent) for 7 discrete levels
+// (NCache = 2×10⁵ cycles, tdeadline = 5200 µs, tinvariant = 1000 µs).
+func Figure9(n int) (*Surface, error) {
+	ms, err := volt.Levels(7)
+	if err != nil {
+		return nil, err
+	}
+	return discreteSurface(
+		"Figure 9: discrete savings vs (Noverlap, Ndependent)",
+		"Noverlap(Kcyc)", "Ndependent(Kcyc)", ms,
+		grid(200, 1800, n), grid(100, 1500, n),
+		func(x, y float64) analytic.Params {
+			return analytic.Params{
+				NOverlap: x * 1e3, NDependent: y * 1e3,
+				NCache: 2e5, TInvariant: 1000, DeadlineUS: 5200,
+			}
+		}), nil
+}
+
+// Figure10 sweeps (NCache, tinvariant) for 7 discrete levels
+// (NOverlap = 1.3×10⁷, NDependent = 7×10⁷ cycles, tdeadline = 3.5×10⁵ µs).
+func Figure10(n int) (*Surface, error) {
+	ms, err := volt.Levels(7)
+	if err != nil {
+		return nil, err
+	}
+	return discreteSurface(
+		"Figure 10: discrete savings vs (Ncache, tinvariant)",
+		"Ncache(Kcyc)", "tinvariant(µs)", ms,
+		grid(500, 15000, n), grid(5e3, 2e5, n),
+		func(x, y float64) analytic.Params {
+			return analytic.Params{
+				NOverlap: 1.3e7, NDependent: 7e7,
+				NCache: x * 1e3, TInvariant: y, DeadlineUS: 3.5e5,
+			}
+		}), nil
+}
+
+// Figure11 sweeps (tdeadline, NCache) for 7 discrete levels
+// (NOverlap = 1.3×10⁷, NDependent = 7×10⁷ cycles, tinvariant = 2×10⁴ µs;
+// the deadline axis spans [1.05, 1.6]× the fastest-mode runtime — the
+// paper's caption for this figure is internally inconsistent, see
+// EXPERIMENTS.md).
+func Figure11(n int) (*Surface, error) {
+	ms, err := volt.Levels(7)
+	if err != nil {
+		return nil, err
+	}
+	base := analytic.Params{
+		NOverlap: 1.3e7, NDependent: 7e7, NCache: 5e5, TInvariant: 2e4,
+	}
+	tFast := base.ExecTimeUS(ms.Max().F)
+	return discreteSurface(
+		"Figure 11: discrete savings vs (tdeadline, Ncache)",
+		"tdeadline(µs)", "Ncache(Kcyc)", ms,
+		grid(tFast*1.05, tFast*1.6, n), grid(500, 12000, n),
+		func(x, y float64) analytic.Params {
+			return analytic.Params{
+				NOverlap: 1.3e7, NDependent: 7e7,
+				NCache: y * 1e3, TInvariant: 2e4, DeadlineUS: x,
+			}
+		}), nil
+}
+
+// Table1Row is one benchmark × level-count row of Table 1: the analytic
+// model's predicted maximum energy-saving ratio at each of the five
+// deadlines.
+type Table1Row struct {
+	Benchmark string
+	Levels    int
+	Savings   [5]float64
+}
+
+// Table1 evaluates the analytic model on the profiled program parameters of
+// the four Table 7 benchmarks, for 3/7/13 voltage levels and the five paper
+// deadline positions.
+//
+// Deadlines are placed at the paper's fractional positions within the
+// model's own [T(f_max), T(f_min)] runtime span rather than the simulator's:
+// the model idealizes cache-hit memory as fully overlapped with computation,
+// so its absolute times sit below the simulator's, and reusing simulator
+// deadlines would misalign which single-frequency baseline each deadline
+// selects (see EXPERIMENTS.md).
+func Table1(c *Config) ([]Table1Row, error) {
+	ms3, err := volt.Levels(3)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, bench := range Table7Benchmarks() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := c.Spec(bench)
+		if err != nil {
+			return nil, err
+		}
+		mp := pr.Params
+		model := analytic.Params{
+			NOverlap:   float64(mp.NOverlap),
+			NDependent: float64(mp.NDependent),
+			NCache:     float64(mp.NCache),
+			TInvariant: mp.TInvariantUS,
+			DeadlineUS: 1, // placeholder; set per deadline below
+		}
+		dls := spec.Deadlines(model.ExecTimeUS(ms3.Max().F), model.ExecTimeUS(ms3.Min().F))
+		for _, levels := range []int{3, 7, 13} {
+			ms, err := volt.Levels(levels)
+			if err != nil {
+				return nil, err
+			}
+			row := Table1Row{Benchmark: bench, Levels: levels}
+			for k, dl := range dls {
+				p := model
+				p.DeadlineUS = dl
+				s, err := analytic.SavingsDiscrete(p, ms)
+				if err != nil {
+					s = 0 // model deadline infeasible at this level count
+				}
+				row.Savings[k] = s
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table 1 in the paper's layout.
+func RenderTable1(rows []Table1Row) *Table {
+	t := &Table{
+		Title:   "Table 1: analytical energy-saving ratio (deadlines 1=tight … 5=lax)",
+		Headers: []string{"Benchmark", "Levels", "D1", "D2", "D3", "D4", "D5"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark, fmt.Sprintf("%d", r.Levels),
+			fmt.Sprintf("%.2f", r.Savings[0]),
+			fmt.Sprintf("%.2f", r.Savings[1]),
+			fmt.Sprintf("%.2f", r.Savings[2]),
+			fmt.Sprintf("%.2f", r.Savings[3]),
+			fmt.Sprintf("%.2f", r.Savings[4]),
+		})
+	}
+	return t
+}
+
+func isInf(x float64) bool { return math.IsInf(x, 1) }

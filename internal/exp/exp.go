@@ -1,0 +1,264 @@
+// Package exp regenerates every table and figure of the paper's evaluation.
+// Each experiment is a function returning structured data plus a Render
+// method producing a paper-style text table; cmd/dvs-bench drives them all
+// and bench_test.go wraps each in a testing.B benchmark.
+//
+// See DESIGN.md for the experiment index (which paper table/figure each
+// function reproduces, with workload and parameters) and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ctdvs/internal/ir"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
+)
+
+// Config carries the shared experiment environment. Profiles are collected
+// lazily and cached, since many experiments share them.
+type Config struct {
+	// Scale is the workload scale factor (1.0 = paper-comparable sizes).
+	Scale float64
+	// Machine simulates; defaults to sim.DefaultConfig.
+	Machine *sim.Machine
+	// MILP bounds each solver call.
+	MILP *milp.Options
+
+	profiles map[string]*profile.Profile
+	specs    map[string]*workloads.Spec
+}
+
+// NewConfig returns an experiment configuration at the given workload scale.
+func NewConfig(scale float64) *Config {
+	return &Config{
+		Scale:    scale,
+		Machine:  sim.MustNew(sim.DefaultConfig()),
+		profiles: make(map[string]*profile.Profile),
+		specs:    make(map[string]*workloads.Spec),
+	}
+}
+
+// Spec returns (and caches) the named workload at the configured scale.
+func (c *Config) Spec(name string) (*workloads.Spec, error) {
+	if s, ok := c.specs[name]; ok {
+		return s, nil
+	}
+	for _, s := range workloads.All(c.Scale) {
+		c.specs[s.Name] = s
+	}
+	if s, ok := c.specs[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+}
+
+// Profile returns (and caches) the profile of one benchmark input under a
+// mode set identified by its level count.
+func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile, error) {
+	key := fmt.Sprintf("%s|%d|%d", bench, input, levels)
+	if p, ok := c.profiles[key]; ok {
+		return p, nil
+	}
+	spec, err := c.Spec(bench)
+	if err != nil {
+		return nil, err
+	}
+	if input < 0 || input >= len(spec.Inputs) {
+		return nil, fmt.Errorf("exp: %s has no input %d", bench, input)
+	}
+	ms, err := volt.Levels(levels)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := profile.Collect(c.Machine, spec.Program, spec.Inputs[input], ms)
+	if err != nil {
+		return nil, err
+	}
+	c.profiles[key] = pr
+	return pr, nil
+}
+
+// Deadlines returns the benchmark's five paper deadlines (µs) at the current
+// scale, measured from its 3-level profile. Index 0 is Deadline 1 (most
+// stringent).
+func (c *Config) Deadlines(bench string) ([5]float64, error) {
+	spec, err := c.Spec(bench)
+	if err != nil {
+		return [5]float64{}, err
+	}
+	pr, err := c.Profile(bench, 0, 3)
+	if err != nil {
+		return [5]float64{}, err
+	}
+	n := pr.Modes.Len()
+	return spec.Deadlines(pr.TotalTimeUS[n-1], pr.TotalTimeUS[0]), nil
+}
+
+// DefaultInput returns the benchmark's profiling input.
+func (c *Config) DefaultInput(bench string) (ir.Input, error) {
+	spec, err := c.Spec(bench)
+	if err != nil {
+		return ir.Input{}, err
+	}
+	return spec.Inputs[0], nil
+}
+
+// Suite lists the benchmark names used by the MILP experiments, in the
+// paper's order.
+func Suite() []string {
+	return []string{"mpeg/decode", "gsm/encode", "mpg123", "adpcm/encode", "epic", "ghostscript"}
+}
+
+// Table7Benchmarks lists the benchmarks with Table 1/6/7 rows.
+func Table7Benchmarks() []string {
+	return []string{"adpcm/encode", "epic", "gsm/encode", "mpeg/decode"}
+}
+
+// Table is a rendered experiment: a title, column headers and string cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// JSON renders the table as a machine-readable object: one map per row,
+// keyed by header.
+func (t *Table) JSON(w io.Writer) error {
+	type doc struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	d := doc{Title: t.Title}
+	for _, r := range t.Rows {
+		m := make(map[string]string, len(t.Headers))
+		for i, h := range t.Headers {
+			if i < len(r) {
+				m[h] = r[i]
+			}
+		}
+		d.Rows = append(d.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Curve is a sampled 1-D relationship (the paper's Figures 2, 3, 4, 8 and
+// the per-benchmark series of Figures 14, 15, 17, 18).
+type Curve struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// Table renders the curve as a two-column table.
+func (c *Curve) Table() *Table {
+	t := &Table{Title: c.Name, Headers: []string{c.XLabel, c.YLabel}}
+	for i := range c.X {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.6g", c.X[i]),
+			fmt.Sprintf("%.6g", c.Y[i]),
+		})
+	}
+	return t
+}
+
+// Surface is a sampled 2-D relationship (the paper's Figures 5–7 and 9–11).
+// Z[i][j] corresponds to (X[i], Y[j]).
+type Surface struct {
+	Name   string
+	XLabel string
+	YLabel string
+	ZLabel string
+	X, Y   []float64
+	Z      [][]float64
+}
+
+// Table renders the surface as a grid with X down the rows and Y across the
+// columns.
+func (s *Surface) Table() *Table {
+	headers := []string{s.XLabel + `\` + s.YLabel}
+	for _, y := range s.Y {
+		headers = append(headers, fmt.Sprintf("%.4g", y))
+	}
+	t := &Table{Title: fmt.Sprintf("%s (%s)", s.Name, s.ZLabel), Headers: headers}
+	for i, x := range s.X {
+		row := []string{fmt.Sprintf("%.4g", x)}
+		for j := range s.Y {
+			row = append(row, fmt.Sprintf("%.4f", s.Z[i][j]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Max returns the largest finite Z value (the peak savings of a surface).
+func (s *Surface) Max() float64 {
+	best := 0.0
+	for _, row := range s.Z {
+		for _, z := range row {
+			if z > best {
+				best = z
+			}
+		}
+	}
+	return best
+}

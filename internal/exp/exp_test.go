@@ -1,0 +1,432 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testConfig returns a small-scale config shared by the experiment tests.
+func testConfig() *Config {
+	return NewConfig(0.02)
+}
+
+func TestConfigCaching(t *testing.T) {
+	c := testConfig()
+	p1, err := c.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("profile not cached")
+	}
+	if _, err := c.Profile("nosuch", 0, 3); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := c.Profile("adpcm/encode", 9, 3); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := c.Profile("adpcm/encode", 0, 5); err == nil {
+		t.Error("unknown level count accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"xxx", "y"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T", "a", "bb", "xxx", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigures2Through4Shapes(t *testing.T) {
+	f2 := Figure2()
+	f3 := Figure3()
+	f4 := Figure4()
+	for _, c := range []*Curve{f2, f3, f4} {
+		if len(c.X) != len(c.Y) || len(c.X) == 0 {
+			t.Fatalf("%s: bad sampling", c.Name)
+		}
+		if len(c.Table().Rows) != len(c.X) {
+			t.Errorf("%s: table rows mismatch", c.Name)
+		}
+	}
+	// Every curve must have a finite interior minimum.
+	for _, c := range []*Curve{f2, f3, f4} {
+		best, bestI := math.Inf(1), -1
+		for i, y := range c.Y {
+			if y < best {
+				best, bestI = y, i
+			}
+		}
+		if math.IsInf(best, 1) {
+			t.Errorf("%s: no feasible point", c.Name)
+		}
+		if bestI == 0 {
+			t.Errorf("%s: minimum at the low-voltage boundary", c.Name)
+		}
+	}
+}
+
+func TestFigure5SurfaceHasSavingsRegion(t *testing.T) {
+	s := Figure5(12)
+	if s.Max() <= 0 {
+		t.Error("Figure 5 surface is flat zero; expected a savings region")
+	}
+	if s.Max() >= 1 {
+		t.Errorf("Figure 5 max savings %v out of range", s.Max())
+	}
+	if len(s.Table().Rows) != len(s.X) {
+		t.Error("surface table wrong shape")
+	}
+}
+
+func TestFigure6SavingsGrowWithTinvariant(t *testing.T) {
+	s := Figure6(10)
+	// The paper: as tinvariant increases, savings increase. Check on the
+	// row with the largest savings.
+	bi := 0
+	for i := range s.X {
+		if s.Z[i][len(s.Y)-1] > s.Z[bi][len(s.Y)-1] {
+			bi = i
+		}
+	}
+	if s.Z[bi][len(s.Y)-1] < s.Z[bi][0] {
+		t.Errorf("savings decreased with tinvariant: %v -> %v",
+			s.Z[bi][0], s.Z[bi][len(s.Y)-1])
+	}
+	if s.Max() <= 0 {
+		t.Error("Figure 6 surface is flat zero")
+	}
+}
+
+func TestFigure7Surface(t *testing.T) {
+	s := Figure7(10)
+	if s.Max() <= 0 || s.Max() >= 1 {
+		t.Errorf("Figure 7 max savings %v out of range", s.Max())
+	}
+}
+
+func TestFigure8CurveFeasibleRegion(t *testing.T) {
+	cur, err := Figure8(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finite := 0
+	for _, y := range cur.Y {
+		if !math.IsInf(y, 1) {
+			finite++
+		}
+	}
+	if finite < 10 {
+		t.Errorf("Figure 8 has only %d feasible y points", finite)
+	}
+}
+
+func TestDiscreteSurfaces(t *testing.T) {
+	for _, mk := range []func(int) (*Surface, error){Figure9, Figure10, Figure11} {
+		s, err := mk(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Max() < 0 || s.Max() >= 1 {
+			t.Errorf("%s: max savings %v out of range", s.Name, s.Max())
+		}
+	}
+	// Figure 10's parameter space is squarely memory-dominated; it must
+	// show real savings.
+	s10, err := Figure10(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s10.Max() <= 0.01 {
+		t.Errorf("Figure 10 shows no savings (max %v)", s10.Max())
+	}
+}
+
+func TestTable1(t *testing.T) {
+	c := testConfig()
+	rows, err := Table1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 4 benchmarks × 3 level counts
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		for k, s := range r.Savings {
+			if s < 0 || s >= 1 {
+				t.Errorf("%s/%d D%d: savings %v out of range", r.Benchmark, r.Levels, k+1, s)
+			}
+		}
+	}
+	if len(RenderTable1(rows).Rows) != 12 {
+		t.Error("render mismatch")
+	}
+}
+
+func TestTable4AndTable7(t *testing.T) {
+	c := testConfig()
+	t4, err := Table4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4) != 6 {
+		t.Fatalf("table 4 rows = %d", len(t4))
+	}
+	for _, r := range t4 {
+		if !(r.T200 > r.T600 && r.T600 > r.T800) {
+			t.Errorf("%s: runtimes not ordered: %v %v %v", r.Benchmark, r.T200, r.T600, r.T800)
+		}
+		for k := 1; k < 5; k++ {
+			if r.Deadlines[k] < r.Deadlines[k-1] {
+				t.Errorf("%s: deadlines not ordered", r.Benchmark)
+			}
+		}
+	}
+	t7, err := Table7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7) != 4 {
+		t.Fatalf("table 7 rows = %d", len(t7))
+	}
+	for _, r := range t7 {
+		if r.NCacheK <= 0 || r.NOverlapK <= 0 || r.NDependentK <= 0 || r.TInvariantUS <= 0 {
+			t.Errorf("%s: empty parameters: %+v", r.Benchmark, r)
+		}
+	}
+	if len(RenderTable4(t4).Rows) != 6 || len(RenderTable7(t7).Rows) != 4 {
+		t.Error("render mismatch")
+	}
+}
+
+func TestTable3Figure14(t *testing.T) {
+	c := testConfig()
+	rows, err := Table3Figure14(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FilteredGroups > r.FullEdges {
+			t.Errorf("%s: filtering grew the problem (%d > %d)",
+				r.Benchmark, r.FilteredGroups, r.FullEdges)
+		}
+		// Paper Table 3: the minimum energy is essentially unchanged.
+		if r.FilteredEnergyUJ > r.FullEnergyUJ*1.01 {
+			t.Errorf("%s: filtered energy %v vs full %v",
+				r.Benchmark, r.FilteredEnergyUJ, r.FullEnergyUJ)
+		}
+	}
+	if len(RenderTable3Figure14(rows).Rows) != 6 {
+		t.Error("render mismatch")
+	}
+}
+
+func TestFigure15TransitionCostTrend(t *testing.T) {
+	c := testConfig()
+	rows, err := Figure15(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.NormEnergy) != 5 {
+			t.Fatalf("%s: %d capacitance points", r.Benchmark, len(r.NormEnergy))
+		}
+		// Cheaper transitions never hurt: energy at the smallest c must not
+		// exceed energy at the largest c (the paper's downward trend).
+		if r.NormEnergy[4] > r.NormEnergy[0]*1.02 {
+			t.Errorf("%s: energy rose as transition cost fell: %v -> %v",
+				r.Benchmark, r.NormEnergy[0], r.NormEnergy[4])
+		}
+		// And it can never beat the V²f bound for an all-200MHz run
+		// relative to 600 MHz.
+		if r.NormEnergy[4] < 0.1 {
+			t.Errorf("%s: implausible normalized energy %v", r.Benchmark, r.NormEnergy[4])
+		}
+	}
+	if len(RenderFigure15(rows).Rows) != len(rows) {
+		t.Error("render mismatch")
+	}
+}
+
+func TestDeadlineSweep(t *testing.T) {
+	c := testConfig()
+	rows, err := DeadlineSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for k := 0; k < 5; k++ {
+			if !r.MeetsDL[k] {
+				t.Errorf("%s D%d: deadline missed", r.Benchmark, k+1)
+			}
+			if r.NormEnergy[k] > 1.02 {
+				t.Errorf("%s D%d: normalized energy %v above single-mode baseline",
+					r.Benchmark, k+1, r.NormEnergy[k])
+			}
+			if r.Transitions[k] < 0 {
+				t.Errorf("%s D%d: negative transitions", r.Benchmark, k+1)
+			}
+		}
+		// Absolute energy falls (weakly) from the tightest to the laxest
+		// deadline (Figure 17's downward trend).
+		if r.EnergyUJ[4] > r.EnergyUJ[0]*1.02 {
+			t.Errorf("%s: energy at D5 (%v) above D1 (%v)",
+				r.Benchmark, r.EnergyUJ[4], r.EnergyUJ[0])
+		}
+	}
+	for _, render := range []func([]DeadlineSweepRow) *Table{RenderFigure17, RenderFigure18, RenderTable5} {
+		if len(render(rows).Rows) != 6 {
+			t.Error("render mismatch")
+		}
+	}
+}
+
+func TestTable6AndComparisonWithTable1(t *testing.T) {
+	c := testConfig()
+	t6, err := Table6(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6) != 12 {
+		t.Fatalf("rows = %d", len(t6))
+	}
+	for _, r := range t6 {
+		for k, s := range r.Savings {
+			if s < 0 || s >= 1 {
+				t.Errorf("%s/%d D%d: savings %v out of range", r.Benchmark, r.Levels, k+1, s)
+			}
+		}
+	}
+	if len(RenderTable6(t6).Rows) != 12 {
+		t.Error("render mismatch")
+	}
+
+	// Section 6.5: the analytic bound is optimistic; MILP-measured savings
+	// should not exceed it by more than noise. Compare the 3-level rows.
+	t1, err := Table1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string][5]float64{}
+	for _, r := range t1 {
+		if r.Levels == 3 {
+			idx[r.Benchmark] = r.Savings
+		}
+	}
+	for _, r := range t6 {
+		if r.Levels != 3 {
+			continue
+		}
+		bound := idx[r.Benchmark]
+		for k := 0; k < 5; k++ {
+			if r.Savings[k] > bound[k]+0.08 {
+				t.Errorf("%s D%d: measured savings %.3f well above analytic bound %.3f",
+					r.Benchmark, k+1, r.Savings[k], bound[k])
+			}
+		}
+	}
+}
+
+func TestFigure19(t *testing.T) {
+	c := testConfig()
+	rows, err := Figure19(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for si, tm := range r.TimesUS {
+			if tm <= 0 {
+				t.Errorf("%s strategy %d: non-positive time", r.RunInput, si)
+			}
+		}
+		t.Logf("%s: self=%.0f flwr=%.0f bbc=%.0f avg=%.0f µs",
+			r.RunInput, r.TimesUS[0], r.TimesUS[1], r.TimesUS[2], r.TimesUS[3])
+	}
+	// The averaged optimization must meet the common deadline on the two
+	// inputs whose categories it was built from, and stay close on the
+	// unprofiled inputs (paper: "optimizing for the average case makes sure
+	// that the deadlines are met for both the cases being considered").
+	dl, err := Fig19Deadline(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.RunInput {
+		case "flwr.m2v", "bbc.m2v":
+			if r.TimesUS[3] > dl*1.02 {
+				t.Errorf("%s: averaged schedule %.0f µs misses common deadline %.0f µs",
+					r.RunInput, r.TimesUS[3], dl)
+			}
+		default:
+			if r.TimesUS[3] > dl*1.10 {
+				t.Errorf("%s: averaged schedule %.0f µs far above common deadline %.0f µs",
+					r.RunInput, r.TimesUS[3], dl)
+			}
+		}
+	}
+	// The bbc-profiled schedule under-estimates B-frame inputs: on flwr it
+	// must not run faster than the self-profiled schedule (paper: "the MILP
+	// solver does poorly in estimating the time ... of the code related to
+	// their processing").
+	for _, r := range rows {
+		if r.RunInput != "flwr.m2v" && r.RunInput != "cact.m2v" {
+			continue
+		}
+		if r.TimesUS[2] < r.TimesUS[0]*(1-1e-9) {
+			t.Errorf("%s: bbc-profiled schedule (%.0f µs) unexpectedly faster than self (%.0f µs)",
+				r.RunInput, r.TimesUS[2], r.TimesUS[0])
+		}
+	}
+	if len(RenderFigure19(rows).Rows) != 4 {
+		t.Error("render mismatch")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "demo" || len(doc.Rows) != 2 || doc.Rows[1]["b"] != "4" {
+		t.Errorf("bad JSON: %+v", doc)
+	}
+}

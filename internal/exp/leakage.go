@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// LeakageRow records measured DVS savings for one benchmark as static
+// (leakage) power grows. The paper's model assumes zero leakage (assumption
+// 3 and Section 7's future work); this ablation quantifies how leakage
+// erodes the benefit of running slowly: a slower schedule stretches the run
+// and pays leakage for longer, the "race-to-idle" effect that eventually
+// made fine-grained DVS less attractive.
+type LeakageRow struct {
+	Benchmark string
+	// PowersMW are the static-power points swept.
+	PowersMW []float64
+	// Savings[i] is the measured energy-saving ratio of the (zero-leakage-
+	// optimized) MILP schedule versus the best single mode, when both are
+	// executed on a machine leaking PowersMW[i].
+	Savings []float64
+}
+
+// AblationLeakage sweeps static power at Deadline 5 (laxest — where DVS
+// savings are largest and the slow schedule's longer runtime hurts most).
+// The schedule is optimized against the zero-leakage profile, as the
+// paper's formulation would, so the sweep measures model error, not a
+// re-optimization.
+func AblationLeakage(c *Config, powersMW []float64) ([]LeakageRow, error) {
+	reg := volt.DefaultRegulator()
+	var rows []LeakageRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		dl := dls[4]
+		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench, err)
+		}
+		mode, _, ok := pr.BestSingleMode(dl)
+		if !ok {
+			return nil, fmt.Errorf("%s: no single mode meets D5", bench)
+		}
+		base := core.SingleModeSchedule(pr, mode, reg)
+
+		spec, err := c.Spec(bench)
+		if err != nil {
+			return nil, err
+		}
+		row := LeakageRow{Benchmark: bench, PowersMW: powersMW}
+		for _, p := range powersMW {
+			mc := sim.DefaultConfig()
+			mc.StaticPowerMW = p
+			machine, err := sim.New(mc)
+			if err != nil {
+				return nil, err
+			}
+			dvs, err := machine.RunDVS(spec.Program, spec.Inputs[0], res.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			single, err := machine.RunDVS(spec.Program, spec.Inputs[0], base)
+			if err != nil {
+				return nil, err
+			}
+			s := 0.0
+			if single.EnergyUJ > 0 {
+				s = 1 - dvs.EnergyUJ/single.EnergyUJ
+			}
+			row.Savings = append(row.Savings, s)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DefaultLeakageSweep returns the standard static-power points (mW): zero
+// (the paper's assumption) up to a quarter-watt, a 2003-era high-leakage
+// part.
+func DefaultLeakageSweep() []float64 { return []float64{0, 50, 100, 250} }
+
+// RenderLeakage formats the leakage ablation.
+func RenderLeakage(rows []LeakageRow) *Table {
+	if len(rows) == 0 {
+		return &Table{Title: "Ablation: leakage (no rows)"}
+	}
+	headers := []string{"Benchmark"}
+	for _, p := range rows[0].PowersMW {
+		headers = append(headers, fmt.Sprintf("%gmW", p))
+	}
+	t := &Table{
+		Title:   "Ablation: DVS savings vs static (leakage) power, deadline 5",
+		Headers: headers,
+	}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for _, s := range r.Savings {
+			cells = append(cells, fmt.Sprintf("%.3f", s))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}

@@ -1,0 +1,37 @@
+package exp
+
+import "testing"
+
+func TestAblationLeakage(t *testing.T) {
+	c := testConfig()
+	rows, err := AblationLeakage(c, DefaultLeakageSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Savings) != len(DefaultLeakageSweep()) {
+			t.Fatalf("%s: %d points", r.Benchmark, len(r.Savings))
+		}
+		// Leakage penalizes the (slower) DVS schedule relative to the (also
+		// slowed but shorter) single-mode baseline when the DVS run takes
+		// longer — so savings must not increase as leakage grows whenever
+		// the DVS schedule is slower than the baseline. In our suite the
+		// DVS schedule at D5 is never faster than the baseline run, so the
+		// sequence is non-increasing.
+		for i := 1; i < len(r.Savings); i++ {
+			if r.Savings[i] > r.Savings[i-1]+1e-9 {
+				t.Errorf("%s: savings rose with leakage: %v", r.Benchmark, r.Savings)
+				break
+			}
+		}
+	}
+	if got := len(RenderLeakage(rows).Rows); got != 6 {
+		t.Errorf("render rows = %d", got)
+	}
+	if RenderLeakage(nil).Title == "" {
+		t.Error("empty render broken")
+	}
+}

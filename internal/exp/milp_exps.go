@@ -1,0 +1,553 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/volt"
+)
+
+// Table4Row is one benchmark row of Table 4: fixed-mode runtimes and the
+// five chosen deadlines (all in ms, as in the paper).
+type Table4Row struct {
+	Benchmark        string
+	T200, T600, T800 float64 // ms
+	Deadlines        [5]float64
+}
+
+// Table4 measures the fixed-mode runtimes of every benchmark and derives the
+// paper's deadline positions (Figure 16). Deadline 5 is the laxest.
+func Table4(c *Config) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{
+			Benchmark: bench,
+			T200:      pr.TotalTimeUS[0] / 1e3,
+			T600:      pr.TotalTimeUS[1] / 1e3,
+			T800:      pr.TotalTimeUS[2] / 1e3,
+		}
+		for k := range dls {
+			row.Deadlines[k] = dls[k] / 1e3
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats Table 4 in the paper's layout (Deadline 5 … 1).
+func RenderTable4(rows []Table4Row) *Table {
+	t := &Table{
+		Title: "Table 4: runtimes at fixed modes and chosen deadlines (ms)",
+		Headers: []string{"Benchmark", "t@200MHz", "t@600MHz", "t@800MHz",
+			"D5", "D4", "D3", "D2", "D1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.1f", r.T200), fmt.Sprintf("%.1f", r.T600), fmt.Sprintf("%.1f", r.T800),
+			fmt.Sprintf("%.1f", r.Deadlines[4]), fmt.Sprintf("%.1f", r.Deadlines[3]),
+			fmt.Sprintf("%.1f", r.Deadlines[2]), fmt.Sprintf("%.1f", r.Deadlines[1]),
+			fmt.Sprintf("%.1f", r.Deadlines[0]),
+		})
+	}
+	return t
+}
+
+// Table7Row is one benchmark row of Table 7: the profiled analytic-model
+// parameters.
+type Table7Row struct {
+	Benchmark                       string
+	NCacheK, NOverlapK, NDependentK float64 // Kcycles
+	TInvariantUS                    float64
+}
+
+// Table7 profiles the four analytic-model benchmarks at the fastest mode.
+func Table7(c *Config) ([]Table7Row, error) {
+	var rows []Table7Row
+	for _, bench := range Table7Benchmarks() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		p := pr.Params
+		rows = append(rows, Table7Row{
+			Benchmark:    bench,
+			NCacheK:      float64(p.NCache) / 1e3,
+			NOverlapK:    float64(p.NOverlap) / 1e3,
+			NDependentK:  float64(p.NDependent) / 1e3,
+			TInvariantUS: p.TInvariantUS,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable7 formats Table 7.
+func RenderTable7(rows []Table7Row) *Table {
+	t := &Table{
+		Title:   "Table 7: profiled program parameters",
+		Headers: []string{"Benchmark", "Ncache(Kcyc)", "Noverlap(Kcyc)", "Ndependent(Kcyc)", "tinvariant(µs)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.1f", r.NCacheK), fmt.Sprintf("%.1f", r.NOverlapK),
+			fmt.Sprintf("%.1f", r.NDependentK), fmt.Sprintf("%.1f", r.TInvariantUS),
+		})
+	}
+	return t
+}
+
+// FilterRow is one benchmark of Table 3 / Figure 14: the MILP run on the
+// full edge set versus the filtered subset.
+type FilterRow struct {
+	Benchmark string
+
+	FullEnergyUJ     float64
+	FilteredEnergyUJ float64
+
+	FullEdges      int // independent mode decisions, unfiltered
+	FilteredGroups int
+
+	FullSolve     time.Duration
+	FilteredSolve time.Duration
+}
+
+// Speedup returns the solve-time ratio full/filtered (Figure 14's y-axis).
+func (r FilterRow) Speedup() float64 {
+	if r.FilteredSolve <= 0 {
+		return 0
+	}
+	return float64(r.FullSolve) / float64(r.FilteredSolve)
+}
+
+// Table3Figure14 runs the optimizer with and without edge filtering at
+// Deadline 5 (as the paper does, with the 12 µs / 1.2 µJ transition cost).
+func Table3Figure14(c *Config) ([]FilterRow, error) {
+	reg := volt.DefaultRegulator()
+	var rows []FilterRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		dl := dls[4] // Deadline 5
+		full, err := core.OptimizeSingle(pr, dl, &core.Options{
+			Regulator: reg, FilterTail: -1, MILP: c.MILP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", bench, err)
+		}
+		filt, err := core.OptimizeSingle(pr, dl, &core.Options{
+			Regulator: reg, FilterTail: 0.02, MILP: c.MILP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s filtered: %w", bench, err)
+		}
+		rows = append(rows, FilterRow{
+			Benchmark:        bench,
+			FullEnergyUJ:     full.PredictedEnergyUJ,
+			FilteredEnergyUJ: filt.PredictedEnergyUJ,
+			FullEdges:        full.IndependentEdges,
+			FilteredGroups:   filt.IndependentEdges,
+			FullSolve:        full.Solver.SolveTime,
+			FilteredSolve:    filt.Solver.SolveTime,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3Figure14 formats the filtering comparison.
+func RenderTable3Figure14(rows []FilterRow) *Table {
+	t := &Table{
+		Title: "Table 3 / Figure 14: edge filtering — energy and MILP solve time",
+		Headers: []string{"Benchmark", "E(all) µJ", "E(subset) µJ",
+			"edges", "groups", "t(all)", "t(subset)", "speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.1f", r.FullEnergyUJ), fmt.Sprintf("%.1f", r.FilteredEnergyUJ),
+			fmt.Sprintf("%d", r.FullEdges), fmt.Sprintf("%d", r.FilteredGroups),
+			r.FullSolve.Round(time.Microsecond).String(),
+			r.FilteredSolve.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", r.Speedup()),
+		})
+	}
+	return t
+}
+
+// Fig15Row is one benchmark series of Figure 15: measured program energy as
+// the regulator capacitance (and with it the transition cost) shrinks,
+// normalized to the 600 MHz fixed run.
+type Fig15Row struct {
+	Benchmark    string
+	CapsF        []float64 // regulator capacitance, farads
+	NormEnergy   []float64 // measured energy / 600 MHz fixed-run energy
+	Transitions  []int64
+	Baseline600J float64 // µJ
+}
+
+// Figure15 sweeps c ∈ {100µ, 10µ, 1µ, 0.1µ, 0.01µ}F at Deadline 5.
+func Figure15(c *Config) ([]Fig15Row, error) {
+	caps := []float64{100e-6, 10e-6, 1e-6, 0.1e-6, 0.01e-6}
+	var rows []Fig15Row
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		dl := dls[4]
+		base := pr.TotalEnergyUJ[1] // fixed 600 MHz run
+		row := Fig15Row{Benchmark: bench, Baseline600J: base}
+		for _, cap := range caps {
+			reg := volt.DefaultRegulator().WithCapacitance(cap)
+			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+			if err != nil {
+				return nil, fmt.Errorf("%s c=%v: %w", bench, cap, err)
+			}
+			ev, err := core.Evaluate(c.Machine, pr, res.Schedule, dl)
+			if err != nil {
+				return nil, err
+			}
+			row.CapsF = append(row.CapsF, cap)
+			row.NormEnergy = append(row.NormEnergy, ev.Run.EnergyUJ/base)
+			row.Transitions = append(row.Transitions, ev.Run.Transitions)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure15 formats the transition-cost sweep.
+func RenderFigure15(rows []Fig15Row) *Table {
+	t := &Table{
+		Title:   "Figure 15: energy vs transition cost (normalized to fixed 600 MHz; deadline 5)",
+		Headers: []string{"Benchmark", "c=100µF", "c=10µF", "c=1µF", "c=0.1µF", "c=0.01µF"},
+	}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for i := range r.CapsF {
+			cells = append(cells, fmt.Sprintf("%.3f (%d sw)", r.NormEnergy[i], r.Transitions[i]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// DeadlineSweepRow is one benchmark's sweep over the five deadlines: the
+// data behind Figure 17 (energy), Figure 18 (solve time) and Table 5
+// (dynamic transition counts).
+type DeadlineSweepRow struct {
+	Benchmark   string
+	DeadlinesUS [5]float64
+	// NormEnergy is measured energy normalized to the best fixed mode that
+	// meets each deadline (Figure 17's y-axis).
+	NormEnergy  [5]float64
+	EnergyUJ    [5]float64
+	SolveTime   [5]time.Duration
+	Transitions [5]int64
+	MeetsDL     [5]bool
+}
+
+// DeadlineSweep optimizes and measures every benchmark at all five
+// deadlines with the typical c = 10 µF transition cost.
+func DeadlineSweep(c *Config) ([]DeadlineSweepRow, error) {
+	reg := volt.DefaultRegulator()
+	var rows []DeadlineSweepRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		row := DeadlineSweepRow{Benchmark: bench, DeadlinesUS: dls}
+		for k, dl := range dls {
+			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+			if err != nil {
+				return nil, fmt.Errorf("%s D%d: %w", bench, k+1, err)
+			}
+			ev, err := core.Evaluate(c.Machine, pr, res.Schedule, dl)
+			if err != nil {
+				return nil, err
+			}
+			mode, baseE, ok := pr.BestSingleMode(dl)
+			if !ok {
+				return nil, fmt.Errorf("%s D%d: no single mode meets deadline", bench, k+1)
+			}
+			_ = mode
+			row.EnergyUJ[k] = ev.Run.EnergyUJ
+			row.NormEnergy[k] = ev.Run.EnergyUJ / baseE
+			row.SolveTime[k] = res.Solver.SolveTime
+			row.Transitions[k] = ev.Run.Transitions
+			row.MeetsDL[k] = ev.Run.TimeUS <= dl*1.02
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure17 formats the energy-vs-deadline series.
+func RenderFigure17(rows []DeadlineSweepRow) *Table {
+	t := &Table{
+		Title:   "Figure 17: optimized energy vs deadline (normalized to best single mode)",
+		Headers: []string{"Benchmark", "D1", "D2", "D3", "D4", "D5"},
+	}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for k := 0; k < 5; k++ {
+			cells = append(cells, fmt.Sprintf("%.3f", r.NormEnergy[k]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// RenderFigure18 formats the solve-time series.
+func RenderFigure18(rows []DeadlineSweepRow) *Table {
+	t := &Table{
+		Title:   "Figure 18: MILP solution time per deadline",
+		Headers: []string{"Benchmark", "D1", "D2", "D3", "D4", "D5"},
+	}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for k := 0; k < 5; k++ {
+			cells = append(cells, r.SolveTime[k].Round(time.Microsecond).String())
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// RenderTable5 formats the dynamic transition counts.
+func RenderTable5(rows []DeadlineSweepRow) *Table {
+	t := &Table{
+		Title:   "Table 5: dynamic mode transition counts (c = 10 µF)",
+		Headers: []string{"Benchmark", "D1", "D2", "D3", "D4", "D5"},
+	}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for k := 0; k < 5; k++ {
+			cells = append(cells, fmt.Sprintf("%d", r.Transitions[k]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// Table6Row is one benchmark × level-count row of Table 6: MILP-measured
+// energy-saving ratios at each deadline, the practical counterpart of
+// Table 1's analytic bounds.
+type Table6Row struct {
+	Benchmark string
+	Levels    int
+	Savings   [5]float64
+}
+
+// Table6 runs the full optimize-and-measure pipeline for 3/7/13 voltage
+// levels on the Table 7 benchmarks.
+func Table6(c *Config) ([]Table6Row, error) {
+	reg := volt.DefaultRegulator()
+	var rows []Table6Row
+	for _, bench := range Table7Benchmarks() {
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, levels := range []int{3, 7, 13} {
+			pr, err := c.Profile(bench, 0, levels)
+			if err != nil {
+				return nil, err
+			}
+			row := Table6Row{Benchmark: bench, Levels: levels}
+			for k, dl := range dls {
+				res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+				if err != nil {
+					// A deadline the level set cannot meet records zero.
+					continue
+				}
+				s, err := core.SavingsVsBestSingle(c.Machine, pr, res.Schedule, dl, reg)
+				if err != nil {
+					continue
+				}
+				if s < 0 {
+					s = 0
+				}
+				row.Savings[k] = s
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable6 formats Table 6 in the paper's layout.
+func RenderTable6(rows []Table6Row) *Table {
+	t := &Table{
+		Title:   "Table 6: MILP-measured energy-saving ratio (deadlines 1=tight … 5=lax)",
+		Headers: []string{"Benchmark", "Levels", "D1", "D2", "D3", "D4", "D5"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark, fmt.Sprintf("%d", r.Levels),
+			fmt.Sprintf("%.2f", r.Savings[0]),
+			fmt.Sprintf("%.2f", r.Savings[1]),
+			fmt.Sprintf("%.2f", r.Savings[2]),
+			fmt.Sprintf("%.2f", r.Savings[3]),
+			fmt.Sprintf("%.2f", r.Savings[4]),
+		})
+	}
+	return t
+}
+
+// Fig19Row is one (run input × profiling strategy) cell of Figure 19:
+// the measured runtime of the mpeg benchmark under a schedule optimized
+// from different profiling inputs.
+type Fig19Row struct {
+	RunInput string
+	// TimesUS[strategy]: 0 = profiled on the same input, 1 = profiled on
+	// flwr, 2 = profiled on bbc, 3 = optimized for the flwr/bbc average.
+	TimesUS [4]float64
+	// EnergiesUJ mirrors TimesUS for the energy sensitivity noted in §6.4.
+	EnergiesUJ [4]float64
+}
+
+// Fig19Strategies names the four profiling strategies, in column order.
+func Fig19Strategies() [4]string {
+	return [4]string{"self", "opt. for flwr", "opt. for bbc", "opt. for average"}
+}
+
+// Figure19 reproduces the multiple-input experiment on mpeg/decode with its
+// four bitstreams. One absolute Deadline-4 target — a property of the
+// application, derived from the default (flwr) profile — is used for every
+// optimization; what varies is the profile the MILP plans with. A schedule
+// planned from the no-B-frames bbc profile under-estimates the runtime of
+// B-frame inputs, which is exactly the failure mode the paper observes, and
+// the category-averaged optimization recovers from it.
+func Figure19(c *Config) ([]Fig19Row, error) {
+	spec, err := c.Spec("mpeg/decode")
+	if err != nil {
+		return nil, err
+	}
+	reg := volt.DefaultRegulator()
+
+	inputIdx := map[string]int{}
+	for i, in := range spec.Inputs {
+		inputIdx[in.Name] = i
+	}
+	flwr, bbc := inputIdx["flwr.m2v"], inputIdx["bbc.m2v"]
+
+	// The common application deadline (Deadline 4 of the default profile).
+	base, err := c.Profile("mpeg/decode", flwr, 3)
+	if err != nil {
+		return nil, err
+	}
+	n := base.Modes.Len()
+	deadline := base.TotalTimeUS[n-1] + spec.DeadlineFracs[3]*(base.TotalTimeUS[0]-base.TotalTimeUS[n-1])
+
+	schedFor := func(idx int) (*core.Result, *profile.Profile, error) {
+		pr, err := c.Profile("mpeg/decode", idx, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := core.OptimizeSingle(pr, deadline, &core.Options{Regulator: reg, MILP: c.MILP})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, pr, nil
+	}
+
+	flwrRes, flwrProf, err := schedFor(flwr)
+	if err != nil {
+		return nil, err
+	}
+	bbcRes, bbcProf, err := schedFor(bbc)
+	if err != nil {
+		return nil, err
+	}
+	avgRes, err := core.Optimize([]core.Category{
+		{Profile: flwrProf, Weight: 0.5, DeadlineUS: deadline},
+		{Profile: bbcProf, Weight: 0.5, DeadlineUS: deadline},
+	}, &core.Options{Regulator: reg, MILP: c.MILP})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig19Row
+	for _, in := range spec.Inputs {
+		selfRes, _, err := schedFor(inputIdx[in.Name])
+		if err != nil {
+			return nil, err
+		}
+		row := Fig19Row{RunInput: in.Name}
+		for si, sched := range []*core.Result{selfRes, flwrRes, bbcRes, avgRes} {
+			run, err := c.Machine.RunDVS(spec.Program, in, sched.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			row.TimesUS[si] = run.TimeUS
+			row.EnergiesUJ[si] = run.EnergyUJ
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig19Deadline exposes the common deadline Figure19 optimizes against,
+// for reporting.
+func Fig19Deadline(c *Config) (float64, error) {
+	spec, err := c.Spec("mpeg/decode")
+	if err != nil {
+		return 0, err
+	}
+	base, err := c.Profile("mpeg/decode", 0, 3)
+	if err != nil {
+		return 0, err
+	}
+	n := base.Modes.Len()
+	return base.TotalTimeUS[n-1] + spec.DeadlineFracs[3]*(base.TotalTimeUS[0]-base.TotalTimeUS[n-1]), nil
+}
+
+type coreProfile struct {
+	pr       *profile.Profile
+	deadline float64
+}
+
+// RenderFigure19 formats the cross-input runtimes.
+func RenderFigure19(rows []Fig19Row) *Table {
+	strats := Fig19Strategies()
+	t := &Table{
+		Title:   "Figure 19: mpeg runtime (ms) under schedules from different profiling inputs",
+		Headers: []string{"Run input", strats[0], strats[1], strats[2], strats[3]},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.RunInput,
+			fmt.Sprintf("%.2f", r.TimesUS[0]/1e3),
+			fmt.Sprintf("%.2f", r.TimesUS[1]/1e3),
+			fmt.Sprintf("%.2f", r.TimesUS[2]/1e3),
+			fmt.Sprintf("%.2f", r.TimesUS[3]/1e3),
+		})
+	}
+	return t
+}

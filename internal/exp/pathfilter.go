@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/core"
+	"ctdvs/internal/paths"
+	"ctdvs/internal/volt"
+)
+
+// PathFilterRow compares the paper's 2 %-energy-tail edge filtering against
+// a Ball–Larus hot-path policy: keep independent mode variables exactly for
+// the edges of the acyclic paths that cover `coverage` of all path
+// executions. This is a concrete instance of the paper's Section 7 plan to
+// build path context into the formulation.
+type PathFilterRow struct {
+	Benchmark string
+
+	TailGroups   int
+	TailEnergyUJ float64
+	TailSolve    time.Duration
+
+	PathGroups   int
+	PathEnergyUJ float64
+	PathSolve    time.Duration
+	PathsKept    int // hot paths needed to reach the coverage target
+}
+
+// AblationPathFilter traces each benchmark's Ball–Larus path profile, builds
+// the keep-set from hot paths up to the coverage fraction, and optimizes at
+// Deadline 4 under both filtering policies.
+func AblationPathFilter(c *Config, coverage float64) ([]PathFilterRow, error) {
+	reg := volt.DefaultRegulator()
+	var rows []PathFilterRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		dl := dls[3]
+		spec, err := c.Spec(bench)
+		if err != nil {
+			return nil, err
+		}
+
+		// Trace the path profile on the default input at the fastest mode.
+		numbering, err := paths.New(pr.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench, err)
+		}
+		tracer := numbering.NewTracer()
+		c.Machine.EdgeHook = tracer.Edge
+		_, err = c.Machine.Run(spec.Program, spec.Inputs[0], pr.Modes.Max())
+		c.Machine.EdgeHook = nil
+		if err != nil {
+			return nil, err
+		}
+		tracer.Finish()
+
+		keep, kept, err := hotPathEdges(numbering, tracer.Counts(), coverage)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench, err)
+		}
+
+		tail, err := core.OptimizeSingle(pr, dl, &core.Options{
+			Regulator: reg, FilterTail: 0.02, MILP: c.MILP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s tail: %w", bench, err)
+		}
+		path, err := core.OptimizeSingle(pr, dl, &core.Options{
+			Regulator: reg, KeepIndependent: keep, MILP: c.MILP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s path: %w", bench, err)
+		}
+		rows = append(rows, PathFilterRow{
+			Benchmark:    bench,
+			TailGroups:   tail.IndependentEdges,
+			TailEnergyUJ: tail.PredictedEnergyUJ,
+			TailSolve:    tail.Solver.SolveTime,
+			PathGroups:   path.IndependentEdges,
+			PathEnergyUJ: path.PredictedEnergyUJ,
+			PathSolve:    path.Solver.SolveTime,
+			PathsKept:    kept,
+		})
+	}
+	return rows, nil
+}
+
+// hotPathEdges returns the edges of the hottest paths covering the given
+// fraction of all path executions.
+func hotPathEdges(n *paths.Numbering, counts map[paths.Key]int64, coverage float64) (map[cfg.Edge]bool, int, error) {
+	hot, err := paths.Hot(n, counts, len(counts))
+	if err != nil {
+		return nil, 0, err
+	}
+	total := int64(0)
+	for _, h := range hot {
+		total += h.Count
+	}
+	keep := make(map[cfg.Edge]bool)
+	covered := int64(0)
+	kept := 0
+	for _, h := range hot {
+		if total > 0 && float64(covered) >= coverage*float64(total) {
+			break
+		}
+		covered += h.Count
+		kept++
+		for i := 1; i < len(h.Blocks); i++ {
+			keep[cfg.Edge{From: h.Blocks[i-1], To: h.Blocks[i]}] = true
+		}
+	}
+	return keep, kept, nil
+}
+
+// RenderPathFilter formats the comparison.
+func RenderPathFilter(rows []PathFilterRow) *Table {
+	t := &Table{
+		Title: "Ablation: 2%-tail filtering vs Ball-Larus hot-path filtering (deadline 4)",
+		Headers: []string{"Benchmark", "groups(tail)", "groups(path)", "paths",
+			"E(tail) µJ", "E(path) µJ", "t(tail)", "t(path)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%d", r.TailGroups), fmt.Sprintf("%d", r.PathGroups),
+			fmt.Sprintf("%d", r.PathsKept),
+			fmt.Sprintf("%.1f", r.TailEnergyUJ), fmt.Sprintf("%.1f", r.PathEnergyUJ),
+			r.TailSolve.Round(time.Microsecond).String(),
+			r.PathSolve.Round(time.Microsecond).String(),
+		})
+	}
+	return t
+}

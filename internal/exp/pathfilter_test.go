@@ -1,0 +1,33 @@
+package exp
+
+import "testing"
+
+func TestAblationPathFilter(t *testing.T) {
+	c := testConfig()
+	rows, err := AblationPathFilter(c, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PathsKept <= 0 {
+			t.Errorf("%s: no hot paths kept", r.Benchmark)
+		}
+		if r.PathGroups <= 0 || r.TailGroups <= 0 {
+			t.Errorf("%s: empty groups", r.Benchmark)
+		}
+		// Both policies must land near the same optimum: the energy terms
+		// they can lose live in the cold tail by construction.
+		if r.PathEnergyUJ > r.TailEnergyUJ*1.05 || r.TailEnergyUJ > r.PathEnergyUJ*1.05 {
+			t.Errorf("%s: policies diverge: tail %v vs path %v",
+				r.Benchmark, r.TailEnergyUJ, r.PathEnergyUJ)
+		}
+		t.Logf("%s: tail %d groups %.1f µJ | path %d groups (%d paths) %.1f µJ",
+			r.Benchmark, r.TailGroups, r.TailEnergyUJ, r.PathGroups, r.PathsKept, r.PathEnergyUJ)
+	}
+	if len(RenderPathFilter(rows).Rows) != 6 {
+		t.Error("render mismatch")
+	}
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/volt"
+)
+
+// PlacementRow summarizes the static code-size cost of a schedule: how many
+// mode-set instructions a compiler must actually emit (paper Section 4.2
+// discusses silent instructions and hoisting; Section 7 the branch-overhead
+// concern that makes every avoided instruction valuable).
+type PlacementRow struct {
+	Benchmark string
+	Deadline  int // paper deadline number (1..5)
+
+	Edges     int // total control-flow edges (every one gets a MILP decision)
+	Required  int // mode-set instructions that must be emitted
+	Silent    int // assignments provably silent on the profiled input
+	Hoistable int // required instructions that fire ≪ their traversal count
+
+	DynamicTransitions int64 // what the required instructions actually do
+}
+
+// PlacementStats runs the optimizer at two deadlines per benchmark (D2 and
+// D4, where mode mixing is richest) and classifies every edge assignment.
+func PlacementStats(c *Config) ([]PlacementRow, error) {
+	reg := volt.DefaultRegulator()
+	var rows []PlacementRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, dn := range []int{2, 4} {
+			dl := dls[dn-1]
+			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+			if err != nil {
+				return nil, fmt.Errorf("%s D%d: %w", bench, dn, err)
+			}
+			pl := core.PlaceModeSets(pr, res.Schedule)
+			ev, err := core.Evaluate(c.Machine, pr, res.Schedule, dl)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PlacementRow{
+				Benchmark:          bench,
+				Deadline:           dn,
+				Edges:              res.TotalEdges,
+				Required:           len(pl.Required),
+				Silent:             len(pl.Silent),
+				Hoistable:          len(pl.Hoistable),
+				DynamicTransitions: ev.Run.Transitions,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderPlacement formats the placement statistics.
+func RenderPlacement(rows []PlacementRow) *Table {
+	t := &Table{
+		Title: "Mode-set instruction placement (paper §4.2): static cost of each schedule",
+		Headers: []string{"Benchmark", "D", "edges", "required", "silent",
+			"hoistable", "dyn. transitions"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark, fmt.Sprintf("D%d", r.Deadline),
+			fmt.Sprintf("%d", r.Edges), fmt.Sprintf("%d", r.Required),
+			fmt.Sprintf("%d", r.Silent), fmt.Sprintf("%d", r.Hoistable),
+			fmt.Sprintf("%d", r.DynamicTransitions),
+		})
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+package exp
+
+import "testing"
+
+func TestPlacementStats(t *testing.T) {
+	c := testConfig()
+	rows, err := PlacementStats(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 benchmarks × 2 deadlines
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Required+r.Silent != r.Edges {
+			t.Errorf("%s D%d: required %d + silent %d != edges %d",
+				r.Benchmark, r.Deadline, r.Required, r.Silent, r.Edges)
+		}
+		if r.Hoistable > r.Required {
+			t.Errorf("%s D%d: hoistable %d > required %d",
+				r.Benchmark, r.Deadline, r.Hoistable, r.Required)
+		}
+		// A schedule with no dynamic transitions and a matching initial
+		// mode needs no instructions at all.
+		if r.DynamicTransitions == 0 && r.Required > 1 {
+			t.Errorf("%s D%d: %d instructions required for 0 transitions",
+				r.Benchmark, r.Deadline, r.Required)
+		}
+	}
+	if len(RenderPlacement(rows).Rows) != 12 {
+		t.Error("render mismatch")
+	}
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// RuntimeRow compares compile-time MILP scheduling against run-time
+// interval-based governors (the OS-level policy family of the paper's
+// related work, Section 2) on one benchmark at Deadline 4.
+type RuntimeRow struct {
+	Benchmark string
+
+	// MILP: the paper's approach. Meets the deadline by construction.
+	MILPEnergyUJ float64
+	MILPTimeUS   float64
+
+	// Utilization (PAST-style) governor.
+	UtilEnergyUJ float64
+	UtilTimeUS   float64
+	UtilMeets    bool
+	UtilSwitches int64
+
+	// Miss-rate (Marculescu-style) governor.
+	MissEnergyUJ float64
+	MissTimeUS   float64
+	MissMeets    bool
+	MissSwitches int64
+
+	// Deadline-aware pacing (PACE/Lorch-Smith-style) governor: knows the
+	// profiled total cycles and the deadline, the strongest run-time
+	// baseline.
+	PaceEnergyUJ float64
+	PaceTimeUS   float64
+	PaceMeets    bool
+	PaceSwitches int64
+
+	DeadlineUS float64
+}
+
+// RuntimeVsCompileTime measures what the paper argues qualitatively: a
+// run-time policy sees memory-boundedness but not the deadline, so it can
+// neither exploit deadline slack on compute-bound programs nor guarantee
+// the deadline on memory-bound ones; the compile-time optimizer does both.
+// Governors start at the fastest mode with a 500 µs interval.
+func RuntimeVsCompileTime(c *Config) ([]RuntimeRow, error) {
+	reg := volt.DefaultRegulator()
+	ms := volt.XScale3()
+	var rows []RuntimeRow
+	for _, bench := range Suite() {
+		pr, err := c.Profile(bench, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		dls, err := c.Deadlines(bench)
+		if err != nil {
+			return nil, err
+		}
+		dl := dls[3] // Deadline 4
+		spec, err := c.Spec(bench)
+		if err != nil {
+			return nil, err
+		}
+
+		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench, err)
+		}
+		milp, err := c.Machine.RunDVS(spec.Program, spec.Inputs[0], res.Schedule)
+		if err != nil {
+			return nil, err
+		}
+
+		util, err := c.Machine.RunGoverned(spec.Program, spec.Inputs[0], ms, reg,
+			ms.Len()-1, 500, &sim.UtilizationGovernor{Modes: ms, Low: 0.6, High: 0.9})
+		if err != nil {
+			return nil, err
+		}
+		miss, err := c.Machine.RunGoverned(spec.Program, spec.Inputs[0], ms, reg,
+			ms.Len()-1, 500, &sim.MissRateGovernor{Modes: ms, LowMissesPerUS: 0.5, HighMissesPerUS: 3})
+		if err != nil {
+			return nil, err
+		}
+		total := pr.Params.NCache + pr.Params.NOverlap + pr.Params.NDependent
+		pace, err := c.Machine.RunGoverned(spec.Program, spec.Inputs[0], ms, reg,
+			ms.Len()-1, 500, &sim.DeadlineGovernor{Modes: ms, TotalCycles: total, DeadlineUS: dl, Margin: 1.1})
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, RuntimeRow{
+			Benchmark:    bench,
+			MILPEnergyUJ: milp.EnergyUJ,
+			MILPTimeUS:   milp.TimeUS,
+			UtilEnergyUJ: util.EnergyUJ,
+			UtilTimeUS:   util.TimeUS,
+			UtilMeets:    util.TimeUS <= dl*1.02,
+			UtilSwitches: util.Transitions,
+			MissEnergyUJ: miss.EnergyUJ,
+			MissTimeUS:   miss.TimeUS,
+			MissMeets:    miss.TimeUS <= dl*1.02,
+			MissSwitches: miss.Transitions,
+			PaceEnergyUJ: pace.EnergyUJ,
+			PaceTimeUS:   pace.TimeUS,
+			PaceMeets:    pace.TimeUS <= dl*1.02,
+			PaceSwitches: pace.Transitions,
+			DeadlineUS:   dl,
+		})
+	}
+	return rows, nil
+}
+
+// RenderRuntime formats the comparison.
+func RenderRuntime(rows []RuntimeRow) *Table {
+	t := &Table{
+		Title: "Run-time interval governors vs compile-time MILP (deadline 4)",
+		Headers: []string{"Benchmark", "E(MILP) µJ", "E(util) µJ", "E(miss) µJ", "E(pace) µJ",
+			"meets(util)", "meets(miss)", "meets(pace)", "sw(pace)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.1f", r.MILPEnergyUJ),
+			fmt.Sprintf("%.1f", r.UtilEnergyUJ),
+			fmt.Sprintf("%.1f", r.MissEnergyUJ),
+			fmt.Sprintf("%.1f", r.PaceEnergyUJ),
+			fmt.Sprintf("%v", r.UtilMeets),
+			fmt.Sprintf("%v", r.MissMeets),
+			fmt.Sprintf("%v", r.PaceMeets),
+			fmt.Sprintf("%d", r.PaceSwitches),
+		})
+	}
+	return t
+}

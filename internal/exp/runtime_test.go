@@ -1,0 +1,28 @@
+package exp
+
+import "testing"
+
+func TestRuntimeVsCompileTime(t *testing.T) {
+	c := testConfig()
+	rows, err := RuntimeVsCompileTime(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MILPTimeUS > r.DeadlineUS*1.02 {
+			t.Errorf("%s: MILP missed its deadline", r.Benchmark)
+		}
+		if r.MILPEnergyUJ <= 0 || r.UtilEnergyUJ <= 0 || r.MissEnergyUJ <= 0 {
+			t.Errorf("%s: zero energies", r.Benchmark)
+		}
+		t.Logf("%s: MILP %.0f µJ | util %.0f µJ (meets=%v, %d sw) | miss %.0f µJ (meets=%v, %d sw)",
+			r.Benchmark, r.MILPEnergyUJ, r.UtilEnergyUJ, r.UtilMeets, r.UtilSwitches,
+			r.MissEnergyUJ, r.MissMeets, r.MissSwitches)
+	}
+	if len(RenderRuntime(rows).Rows) != 6 {
+		t.Error("render mismatch")
+	}
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
+)
+
+// ScalingRow records one CFG size of the solver-scaling experiment: the
+// full-edge-set and filtered solve times as the MILP grows. This experiment
+// extends Figure 14 to the problem sizes where the paper's "hours to
+// seconds" characterization applies — real MediaBench CFGs have far more
+// edges than the calibrated suite's graphs.
+type ScalingRow struct {
+	Edges          int // control-flow edges (full formulation size driver)
+	Groups         int // independent edge groups after 2% filtering
+	FullSolve      time.Duration
+	FilteredSolve  time.Duration
+	FullEnergyUJ   float64
+	FilterEnergyUJ float64
+	FullStatus     milp.Status
+	FilterStatus   milp.Status
+}
+
+// Speedup returns full/filtered solve time.
+func (r ScalingRow) Speedup() float64 {
+	if r.FilteredSolve <= 0 {
+		return 0
+	}
+	return float64(r.FullSolve) / float64(r.FilteredSolve)
+}
+
+// SolverScaling sweeps synthetic programs of growing control-flow size and
+// solves each with and without edge filtering at a mid-range deadline.
+// sizes gives the diamonds-per-region counts to sweep; regions and trips
+// fix the rest of the generator. The per-solve time limit keeps the
+// unfiltered runs bounded (their status is reported).
+func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Duration) ([]ScalingRow, error) {
+	reg := volt.DefaultRegulator()
+	var rows []ScalingRow
+	for _, size := range sizes {
+		spec, err := workloads.Synthetic(workloads.SyntheticConfig{
+			Regions:         regions,
+			BlocksPerRegion: size,
+			TripsPerRegion:  trips,
+			Seed:            int64(1000 + size),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pr, err := profile.Collect(c.Machine, spec.Program, spec.Inputs[0], volt.XScale3())
+		if err != nil {
+			return nil, err
+		}
+		n := pr.Modes.Len()
+		dl := (pr.TotalTimeUS[n-1] + pr.TotalTimeUS[0]) / 2
+
+		opts := &milp.Options{TimeLimit: perSolve}
+		full, err := core.OptimizeSingle(pr, dl, &core.Options{
+			Regulator: reg, FilterTail: -1, MILP: opts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("size %d full: %w", size, err)
+		}
+		filt, err := core.OptimizeSingle(pr, dl, &core.Options{
+			Regulator: reg, FilterTail: 0.02, MILP: opts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("size %d filtered: %w", size, err)
+		}
+		rows = append(rows, ScalingRow{
+			Edges:          full.TotalEdges,
+			Groups:         filt.IndependentEdges,
+			FullSolve:      full.Solver.SolveTime,
+			FilteredSolve:  filt.Solver.SolveTime,
+			FullEnergyUJ:   full.PredictedEnergyUJ,
+			FilterEnergyUJ: filt.PredictedEnergyUJ,
+			FullStatus:     full.Solver.Status,
+			FilterStatus:   filt.Solver.Status,
+		})
+	}
+	return rows, nil
+}
+
+// RenderSolverScaling formats the scaling sweep.
+func RenderSolverScaling(rows []ScalingRow) *Table {
+	t := &Table{
+		Title: "Solver scaling: filtering speedup vs CFG size (extends Figure 14)",
+		Headers: []string{"edges", "groups", "t(all)", "t(subset)", "speedup",
+			"E(all) µJ", "E(subset) µJ", "status(all)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Edges), fmt.Sprintf("%d", r.Groups),
+			r.FullSolve.Round(time.Millisecond).String(),
+			r.FilteredSolve.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", r.Speedup()),
+			fmt.Sprintf("%.1f", r.FullEnergyUJ),
+			fmt.Sprintf("%.1f", r.FilterEnergyUJ),
+			r.FullStatus.String(),
+		})
+	}
+	return t
+}

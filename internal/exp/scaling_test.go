@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSolverScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver scaling is slow")
+	}
+	c := testConfig()
+	rows, err := SolverScaling(c, 4, 30, []int{1, 3}, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	prev := 0
+	for _, r := range rows {
+		if r.Edges <= prev {
+			t.Errorf("edge counts not increasing: %d after %d", r.Edges, prev)
+		}
+		prev = r.Edges
+		if r.Groups >= r.Edges {
+			t.Errorf("filtering did not reduce groups: %d/%d", r.Groups, r.Edges)
+		}
+		// Filtering must never slow the solve down materially.
+		if r.FilteredSolve > r.FullSolve*2 {
+			t.Errorf("filtered solve (%v) slower than full (%v)", r.FilteredSolve, r.FullSolve)
+		}
+		// Both must land within 2% on energy when both proved optimality.
+		if r.FullStatus.String() == "optimal" && r.FilterStatus.String() == "optimal" {
+			if r.FilterEnergyUJ > r.FullEnergyUJ*1.02 {
+				t.Errorf("filtered energy %v far above full %v", r.FilterEnergyUJ, r.FullEnergyUJ)
+			}
+		}
+		t.Logf("edges=%d groups=%d full=%v filt=%v speedup=%.1fx",
+			r.Edges, r.Groups, r.FullSolve, r.FilteredSolve, r.Speedup())
+	}
+	if len(RenderSolverScaling(rows).Rows) != 2 {
+		t.Error("render mismatch")
+	}
+}

@@ -1,0 +1,129 @@
+package ir
+
+import "fmt"
+
+// Builder assembles a Program incrementally. Create blocks, fill them with
+// instructions, wire terminators, then call Finish, which validates the
+// result. The builder allocates loop/probability condition IDs so workloads
+// don't have to manage uniqueness by hand.
+type Builder struct {
+	prog     *Program
+	nextCond int
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// Stream registers a memory access stream and returns its index.
+func (b *Builder) Stream(s Stream) int {
+	b.prog.Streams = append(b.prog.Streams, s)
+	return len(b.prog.Streams) - 1
+}
+
+// SequentialStream registers a unit-stride sequential stream over a working
+// set of ws bytes and returns its index. The base address is chosen so
+// distinct streams never alias.
+func (b *Builder) SequentialStream(ws int64) int {
+	return b.Stream(Stream{Base: b.nextBase(), Stride: 4, WorkingSet: ws})
+}
+
+// StridedStream registers a stream with the given stride (bytes) over a
+// working set of ws bytes.
+func (b *Builder) StridedStream(stride, ws int64) int {
+	return b.Stream(Stream{Base: b.nextBase(), Stride: stride, WorkingSet: ws})
+}
+
+// RandomStream registers a uniformly random stream over a working set of ws
+// bytes.
+func (b *Builder) RandomStream(ws int64) int {
+	return b.Stream(Stream{Base: b.nextBase(), Stride: 4, WorkingSet: ws, Random: true})
+}
+
+// nextBase places each stream in its own 256 MB region so streams never
+// share cache sets by accident of layout.
+func (b *Builder) nextBase() uint64 {
+	return uint64(len(b.prog.Streams)+1) << 28
+}
+
+// Block creates an empty basic block with the given name and returns it.
+// Blocks receive IDs in creation order; the first block is the entry.
+func (b *Builder) Block(name string) *Block {
+	blk := &Block{ID: len(b.prog.Blocks), Name: name}
+	b.prog.Blocks = append(b.prog.Blocks, blk)
+	return blk
+}
+
+// Compute appends an overlap-capable computation chunk of n cycles.
+func (blk *Block) Compute(n int) *Block {
+	blk.Instrs = append(blk.Instrs, Compute{Cycles: n})
+	return blk
+}
+
+// DependentCompute appends a computation chunk of n cycles that must wait
+// for all outstanding memory operations.
+func (blk *Block) DependentCompute(n int) *Block {
+	blk.Instrs = append(blk.Instrs, Compute{Cycles: n, DependsOnLoad: true})
+	return blk
+}
+
+// Load appends a load from stream s.
+func (blk *Block) Load(s int) *Block {
+	blk.Instrs = append(blk.Instrs, Load{Stream: s})
+	return blk
+}
+
+// Store appends a store to stream s.
+func (blk *Block) Store(s int) *Block {
+	blk.Instrs = append(blk.Instrs, Store{Stream: s})
+	return blk
+}
+
+// Jump sets the block's terminator to an unconditional jump.
+func (blk *Block) Jump(to *Block) {
+	blk.Term = Jump{To: to.ID}
+}
+
+// Exit sets the block's terminator to program exit.
+func (blk *Block) Exit() {
+	blk.Term = Exit{}
+}
+
+// LoopBranch gives blk a counted-loop back edge: control returns to head for
+// trip−1 consecutive evaluations, then falls through to exit. It returns the
+// condition ID so inputs may override the trip count.
+func (b *Builder) LoopBranch(blk, head, exit *Block, trip int) int {
+	id := b.nextCond
+	b.nextCond++
+	blk.Term = Branch{Cond: LoopCond{ID: id, Trip: trip}, Taken: head.ID, Fall: exit.ID}
+	return id
+}
+
+// ProbBranch gives blk a probabilistic branch taken with probability p. It
+// returns the condition ID so inputs may override the probability.
+func (b *Builder) ProbBranch(blk, taken, fall *Block, p float64) int {
+	id := b.nextCond
+	b.nextCond++
+	blk.Term = Branch{Cond: ProbCond{ID: id, P: p}, Taken: taken.ID, Fall: fall.ID}
+	return id
+}
+
+// Finish validates and returns the program. The builder must not be used
+// afterwards.
+func (b *Builder) Finish() (*Program, error) {
+	if err := b.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: builder: %w", err)
+	}
+	return b.prog, nil
+}
+
+// MustFinish is Finish but panics on error; for statically known-good
+// workload constructors.
+func (b *Builder) MustFinish() *Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

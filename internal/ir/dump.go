@@ -1,0 +1,80 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the program as readable text, one block per paragraph, for
+// debugging and for inspecting generated workloads:
+//
+//	program "adpcm/encode" (6 blocks, 2 streams)
+//	stream 0: base=0x10000000 stride=4 ws=131072
+//	...
+//	block 0 "init":
+//	  compute 500
+//	  load s0 ×40
+//	  jump →1
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q (%d blocks, %d streams)\n", p.Name, len(p.Blocks), len(p.Streams))
+	for i, s := range p.Streams {
+		kind := "strided"
+		if s.Random {
+			kind = "random"
+		}
+		fmt.Fprintf(&b, "stream %d: %s base=%#x stride=%d ws=%d\n", i, kind, s.Base, s.Stride, s.WorkingSet)
+	}
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "block %d %q:\n", blk.ID, blk.Name)
+		for _, line := range summarizeInstrs(blk.Instrs) {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+		switch t := blk.Term.(type) {
+		case Jump:
+			fmt.Fprintf(&b, "  jump →%d\n", t.To)
+		case Branch:
+			switch c := t.Cond.(type) {
+			case LoopCond:
+				fmt.Fprintf(&b, "  loop#%d trip=%d →%d else →%d\n", c.ID, c.Trip, t.Taken, t.Fall)
+			case ProbCond:
+				fmt.Fprintf(&b, "  branch#%d p=%.3g →%d else →%d\n", c.ID, c.P, t.Taken, t.Fall)
+			}
+		case Exit:
+			fmt.Fprintf(&b, "  exit\n")
+		}
+	}
+	return b.String()
+}
+
+// summarizeInstrs collapses runs of identical instructions ("load s0 ×40")
+// so large generated blocks stay readable.
+func summarizeInstrs(instrs []Instr) []string {
+	var out []string
+	for i := 0; i < len(instrs); {
+		cur := instrs[i]
+		n := 1
+		for i+n < len(instrs) && instrs[i+n] == cur {
+			n++
+		}
+		var desc string
+		switch v := cur.(type) {
+		case Compute:
+			if v.DependsOnLoad {
+				desc = fmt.Sprintf("dependent-compute %d", v.Cycles)
+			} else {
+				desc = fmt.Sprintf("compute %d", v.Cycles)
+			}
+		case Load:
+			desc = fmt.Sprintf("load s%d", v.Stream)
+		case Store:
+			desc = fmt.Sprintf("store s%d", v.Stream)
+		}
+		if n > 1 {
+			desc = fmt.Sprintf("%s ×%d", desc, n)
+		}
+		out = append(out, desc)
+		i += n
+	}
+	return out
+}

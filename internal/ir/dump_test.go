@@ -1,0 +1,59 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDump(t *testing.T) {
+	b := NewBuilder("demo")
+	s := b.SequentialStream(1024)
+	r := b.RandomStream(4096)
+	x := b.Block("entry")
+	y := b.Block("body")
+	z := b.Block("exit")
+	x.Compute(10).Load(s).Load(s).Load(s)
+	x.Jump(y)
+	y.Load(r).DependentCompute(5)
+	b.LoopBranch(y, y, z, 7)
+	z.Store(s)
+	z.Exit()
+	p := b.MustFinish()
+
+	out := p.Dump()
+	for _, want := range []string{
+		`program "demo" (3 blocks, 2 streams)`,
+		"stream 0: strided",
+		"stream 1: random",
+		`block 0 "entry":`,
+		"compute 10",
+		"load s0 ×3", // run-length collapsed
+		"jump →1",
+		"load s1",
+		"dependent-compute 5",
+		"loop#0 trip=7 →1 else →2",
+		"store s0",
+		"exit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpProbBranch(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Block("x")
+	y := b.Block("y")
+	z := b.Block("z")
+	x.Compute(1)
+	b.ProbBranch(x, y, z, 0.25)
+	y.Compute(1)
+	y.Exit()
+	z.Compute(1)
+	z.Exit()
+	out := b.MustFinish().Dump()
+	if !strings.Contains(out, "branch#0 p=0.25 →1 else →2") {
+		t.Errorf("dump missing prob branch:\n%s", out)
+	}
+}

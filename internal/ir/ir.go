@@ -1,0 +1,245 @@
+// Package ir defines the miniature intermediate representation in which the
+// reproduction's workloads are written. A program is a control-flow graph of
+// basic blocks; blocks contain abstract instructions (computation chunks,
+// loads, stores) and end in a terminator (jump, conditional branch, exit).
+//
+// The IR is deliberately architecture-neutral: instruction operands are cycle
+// weights and memory access streams rather than registers, which is all the
+// simulator (package sim), the profiler (package profile) and the DVS
+// optimizer (package core) need. It plays the role MediaBench binaries play
+// in the original paper.
+//
+// Input-data dependence — the heart of the paper's multiple-data-category
+// experiments (Figure 19) — is expressed through branch conditions whose
+// taken-probability and loop trip counts can be overridden per input
+// (see Input).
+package ir
+
+import (
+	"fmt"
+)
+
+// Instr is one abstract instruction inside a basic block.
+// Implementations: Compute, Load, Store.
+type Instr interface {
+	isInstr()
+}
+
+// Compute models a chunk of ALU/FPU work taking Cycles clock cycles.
+// If DependsOnLoad is true, the chunk cannot start until all outstanding
+// memory operations have completed (the paper's "dependent" computation);
+// otherwise it may overlap with in-flight cache misses (the paper's
+// "overlap" computation).
+type Compute struct {
+	Cycles        int
+	DependsOnLoad bool
+}
+
+func (Compute) isInstr() {}
+
+// Load models a memory read from access stream Stream.
+type Load struct {
+	Stream int
+}
+
+func (Load) isInstr() {}
+
+// Store models a memory write to access stream Stream.
+type Store struct {
+	Stream int
+}
+
+func (Store) isInstr() {}
+
+// Terminator ends a basic block.
+// Implementations: Jump, Branch, Exit.
+type Terminator interface {
+	isTerm()
+	// Targets returns the possible successor block IDs.
+	Targets() []int
+}
+
+// Jump unconditionally transfers control to block To.
+type Jump struct {
+	To int
+}
+
+func (Jump) isTerm() {}
+
+// Targets returns the jump target.
+func (j Jump) Targets() []int { return []int{j.To} }
+
+// Branch transfers control to Taken when Cond evaluates true, else to Fall.
+type Branch struct {
+	Cond  Cond
+	Taken int
+	Fall  int
+}
+
+func (Branch) isTerm() {}
+
+// Targets returns both branch successors.
+func (b Branch) Targets() []int { return []int{b.Taken, b.Fall} }
+
+// Exit terminates the program.
+type Exit struct{}
+
+func (Exit) isTerm() {}
+
+// Targets returns nil: an exit has no successors.
+func (Exit) Targets() []int { return nil }
+
+// Cond decides a branch direction at run time.
+// Implementations: LoopCond, ProbCond.
+type Cond interface {
+	isCond()
+}
+
+// LoopCond implements a counted loop back-edge: it evaluates true (branch
+// taken) on the first Trip−1 consecutive evaluations and false on the
+// Trip-th, then repeats. Trip counts may be overridden per input; distinct
+// loops must use distinct IDs.
+type LoopCond struct {
+	ID   int
+	Trip int
+}
+
+func (LoopCond) isCond() {}
+
+// ProbCond evaluates true with probability P, drawn from the input's
+// deterministic random source. P may be overridden per input, which is how
+// input data categories (e.g. MPEG streams with and without B-frames) steer
+// different executions down different paths.
+type ProbCond struct {
+	ID int
+	P  float64
+}
+
+func (ProbCond) isCond() {}
+
+// Stream describes a memory access stream. Consecutive accesses advance by
+// Stride bytes from Base, wrapping within a working set of WorkingSet bytes.
+// If Random is true the accesses are instead uniformly random inside the
+// working set (driven by the input's random source), modelling pointer-chasing
+// or indexed accesses with poor locality.
+type Stream struct {
+	Base       uint64
+	Stride     int64
+	WorkingSet int64
+	Random     bool
+}
+
+// Block is a basic block: a straight-line instruction list plus a terminator.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+	Term   Terminator
+}
+
+// Program is a complete workload: blocks (entry is Blocks[0]), the memory
+// access streams the blocks reference, and a name for reporting.
+type Program struct {
+	Name    string
+	Blocks  []*Block
+	Streams []Stream
+}
+
+// Entry returns the entry block ID (always 0).
+func (p *Program) Entry() int { return 0 }
+
+// Validate checks structural invariants: non-empty, block IDs matching their
+// slice positions, every terminator present with in-range targets, every
+// referenced stream defined, loop conditions with positive trip counts, and
+// probability conditions within [0, 1].
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("ir: program %q has no blocks", p.Name)
+	}
+	for i, b := range p.Blocks {
+		if b == nil {
+			return fmt.Errorf("ir: program %q: block %d is nil", p.Name, i)
+		}
+		if b.ID != i {
+			return fmt.Errorf("ir: program %q: block %d has ID %d", p.Name, i, b.ID)
+		}
+		if b.Term == nil {
+			return fmt.Errorf("ir: program %q: block %d (%s) has no terminator", p.Name, i, b.Name)
+		}
+		for _, t := range b.Term.Targets() {
+			if t < 0 || t >= len(p.Blocks) {
+				return fmt.Errorf("ir: program %q: block %d targets unknown block %d", p.Name, i, t)
+			}
+		}
+		for k, in := range b.Instrs {
+			switch v := in.(type) {
+			case Compute:
+				if v.Cycles <= 0 {
+					return fmt.Errorf("ir: program %q: block %d instr %d: non-positive cycles", p.Name, i, k)
+				}
+			case Load:
+				if v.Stream < 0 || v.Stream >= len(p.Streams) {
+					return fmt.Errorf("ir: program %q: block %d instr %d: unknown stream %d", p.Name, i, k, v.Stream)
+				}
+			case Store:
+				if v.Stream < 0 || v.Stream >= len(p.Streams) {
+					return fmt.Errorf("ir: program %q: block %d instr %d: unknown stream %d", p.Name, i, k, v.Stream)
+				}
+			default:
+				return fmt.Errorf("ir: program %q: block %d instr %d: unknown kind %T", p.Name, i, k, in)
+			}
+		}
+		if br, ok := b.Term.(Branch); ok {
+			switch c := br.Cond.(type) {
+			case LoopCond:
+				if c.Trip <= 0 {
+					return fmt.Errorf("ir: program %q: block %d: loop %d has trip %d", p.Name, i, c.ID, c.Trip)
+				}
+			case ProbCond:
+				if c.P < 0 || c.P > 1 {
+					return fmt.Errorf("ir: program %q: block %d: prob %d has P=%v", p.Name, i, c.ID, c.P)
+				}
+			default:
+				return fmt.Errorf("ir: program %q: block %d: unknown cond %T", p.Name, i, br.Cond)
+			}
+		}
+	}
+	for si, s := range p.Streams {
+		if s.WorkingSet <= 0 || s.Stride == 0 {
+			return fmt.Errorf("ir: program %q: stream %d invalid (ws=%d stride=%d)",
+				p.Name, si, s.WorkingSet, s.Stride)
+		}
+	}
+	return nil
+}
+
+// Input identifies one input data set for a program: a name, a seed for the
+// deterministic random source, and optional per-condition overrides that
+// model how different inputs steer execution (probabilities for ProbConds,
+// trip counts for LoopConds).
+type Input struct {
+	Name  string
+	Seed  int64
+	Probs map[int]float64 // ProbCond.ID → probability override
+	Trips map[int]int     // LoopCond.ID → trip override
+}
+
+// ProbFor returns the effective probability of cond c under this input.
+func (in Input) ProbFor(c ProbCond) float64 {
+	if in.Probs != nil {
+		if p, ok := in.Probs[c.ID]; ok {
+			return p
+		}
+	}
+	return c.P
+}
+
+// TripFor returns the effective trip count of cond c under this input.
+func (in Input) TripFor(c LoopCond) int {
+	if in.Trips != nil {
+		if t, ok := in.Trips[c.ID]; ok {
+			return t
+		}
+	}
+	return c.Trip
+}

@@ -1,0 +1,198 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// simpleLoop builds: entry → loop body (back edge ×trip) → exit.
+func simpleLoop(trip int) *Program {
+	b := NewBuilder("loop")
+	s := b.SequentialStream(1 << 16)
+	entry := b.Block("entry")
+	body := b.Block("body")
+	exit := b.Block("exit")
+	entry.Compute(10)
+	entry.Jump(body)
+	body.Compute(5).Load(s).DependentCompute(3)
+	b.LoopBranch(body, body, exit, trip)
+	exit.Compute(2)
+	exit.Exit()
+	return b.MustFinish()
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := simpleLoop(10)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(p.Blocks))
+	}
+	if p.Entry() != 0 {
+		t.Errorf("entry = %d", p.Entry())
+	}
+	if len(p.Streams) != 1 {
+		t.Errorf("streams = %d", len(p.Streams))
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{
+			"no blocks",
+			&Program{Name: "x"},
+			"no blocks",
+		},
+		{
+			"bad id",
+			&Program{Name: "x", Blocks: []*Block{{ID: 5, Term: Exit{}}}},
+			"has ID",
+		},
+		{
+			"nil terminator",
+			&Program{Name: "x", Blocks: []*Block{{ID: 0}}},
+			"no terminator",
+		},
+		{
+			"bad target",
+			&Program{Name: "x", Blocks: []*Block{{ID: 0, Term: Jump{To: 7}}}},
+			"unknown block",
+		},
+		{
+			"bad stream",
+			&Program{Name: "x", Blocks: []*Block{
+				{ID: 0, Instrs: []Instr{Load{Stream: 0}}, Term: Exit{}},
+			}},
+			"unknown stream",
+		},
+		{
+			"zero cycles",
+			&Program{Name: "x", Blocks: []*Block{
+				{ID: 0, Instrs: []Instr{Compute{Cycles: 0}}, Term: Exit{}},
+			}},
+			"non-positive cycles",
+		},
+		{
+			"bad trip",
+			&Program{Name: "x", Blocks: []*Block{
+				{ID: 0, Term: Branch{Cond: LoopCond{ID: 0, Trip: 0}, Taken: 0, Fall: 0}},
+			}},
+			"trip",
+		},
+		{
+			"bad prob",
+			&Program{Name: "x", Blocks: []*Block{
+				{ID: 0, Term: Branch{Cond: ProbCond{ID: 0, P: 1.5}, Taken: 0, Fall: 0}},
+			}},
+			"P=",
+		},
+		{
+			"bad stream def",
+			&Program{
+				Name:    "x",
+				Blocks:  []*Block{{ID: 0, Term: Exit{}}},
+				Streams: []Stream{{Stride: 0, WorkingSet: 0}},
+			},
+			"stream 0 invalid",
+		},
+	}
+	for _, c := range cases {
+		err := c.prog.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestInputOverrides(t *testing.T) {
+	in := Input{
+		Name:  "flwr",
+		Seed:  1,
+		Probs: map[int]float64{3: 0.25},
+		Trips: map[int]int{7: 99},
+	}
+	if p := in.ProbFor(ProbCond{ID: 3, P: 0.5}); p != 0.25 {
+		t.Errorf("ProbFor override = %v", p)
+	}
+	if p := in.ProbFor(ProbCond{ID: 4, P: 0.5}); p != 0.5 {
+		t.Errorf("ProbFor default = %v", p)
+	}
+	if tr := in.TripFor(LoopCond{ID: 7, Trip: 10}); tr != 99 {
+		t.Errorf("TripFor override = %v", tr)
+	}
+	if tr := in.TripFor(LoopCond{ID: 8, Trip: 10}); tr != 10 {
+		t.Errorf("TripFor default = %v", tr)
+	}
+	empty := Input{Name: "none"}
+	if p := empty.ProbFor(ProbCond{ID: 3, P: 0.5}); p != 0.5 {
+		t.Errorf("nil-map ProbFor = %v", p)
+	}
+	if tr := empty.TripFor(LoopCond{ID: 7, Trip: 10}); tr != 10 {
+		t.Errorf("nil-map TripFor = %v", tr)
+	}
+}
+
+func TestBuilderCondIDsUnique(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Block("x")
+	y := b.Block("y")
+	z := b.Block("z")
+	x.Compute(1)
+	y.Compute(1)
+	z.Compute(1)
+	id1 := b.ProbBranch(x, y, z, 0.5)
+	id2 := b.LoopBranch(y, x, z, 4)
+	z.Exit()
+	if id1 == id2 {
+		t.Errorf("condition IDs collide: %d", id1)
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderStreamsDistinctBases(t *testing.T) {
+	b := NewBuilder("p")
+	s1 := b.SequentialStream(1024)
+	s2 := b.RandomStream(2048)
+	s3 := b.StridedStream(64, 4096)
+	blk := b.Block("b")
+	blk.Load(s1).Load(s2).Store(s3)
+	blk.Exit()
+	p := b.MustFinish()
+	bases := map[uint64]bool{}
+	for _, s := range p.Streams {
+		if bases[s.Base] {
+			t.Fatalf("duplicate stream base %#x", s.Base)
+		}
+		bases[s.Base] = true
+	}
+	if !p.Streams[1].Random {
+		t.Error("RandomStream not random")
+	}
+	if p.Streams[2].Stride != 64 {
+		t.Errorf("stride = %d", p.Streams[2].Stride)
+	}
+}
+
+func TestTerminatorTargets(t *testing.T) {
+	if got := (Jump{To: 3}).Targets(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Jump.Targets = %v", got)
+	}
+	br := Branch{Taken: 1, Fall: 2}
+	if got := br.Targets(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Branch.Targets = %v", got)
+	}
+	if got := (Exit{}).Targets(); got != nil {
+		t.Errorf("Exit.Targets = %v", got)
+	}
+}

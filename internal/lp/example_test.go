@@ -1,0 +1,26 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"ctdvs/internal/lp"
+)
+
+func ExampleProblem_Solve() {
+	// Maximize 3x + 5y subject to x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18
+	// (minimize the negation).
+	p := lp.NewProblem()
+	x := p.AddVariable(-3, 0, math.Inf(1))
+	y := p.AddVariable(-5, 0, math.Inf(1))
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 4)
+	p.MustAddConstraint([]lp.Term{{Var: y, Coef: 2}}, lp.LE, 12)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, lp.LE, 18)
+	sol, err := p.Solve(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v: x=%.0f y=%.0f value=%.0f\n", sol.Status, sol.X[x], sol.X[y], -sol.Objective)
+	// Output:
+	// optimal: x=2 y=6 value=36
+}

@@ -1,0 +1,233 @@
+// Package lp implements a dense, two-phase, bounded-variable primal simplex
+// solver for linear programs. It is the relaxation engine underneath the
+// MILP branch-and-bound in package milp, standing in for the CPLEX solver the
+// paper used (the reproduction is offline and stdlib-only, so the solver is
+// built from scratch).
+//
+// Problems are expressed as
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx  {≤, =, ≥}  bᵢ        for each constraint i
+//	            loⱼ ≤ xⱼ ≤ hiⱼ             for each variable j
+//
+// Lower bounds must be finite (the DVS formulations only use non-negative
+// variables); upper bounds may be +Inf. Maximization is expressed by negating
+// the objective.
+//
+// The implementation keeps a full dense tableau (B⁻¹A plus a reduced-cost
+// row), handles variable bounds natively (nonbasic variables rest at either
+// bound; bound flips avoid pivots), obtains an initial feasible basis with
+// per-row artificial variables in phase 1, and guards against cycling by
+// switching from Dantzig pricing to Bland's rule when the objective stalls.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // aᵀx ≤ b
+	GE           // aᵀx ≥ b
+	EQ           // aᵀx = b
+)
+
+// String returns the conventional symbol for the operator.
+func (op Op) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// Term is one coefficient of a linear constraint: Coef · x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	obj    []float64
+	lo, hi []float64
+	cons   []constraint
+}
+
+// NewProblem returns an empty linear program.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable appends a variable with the given objective coefficient and
+// bounds, returning its index. Pass math.Inf(1) for an unbounded-above
+// variable. The lower bound must be finite.
+func (p *Problem) AddVariable(obj, lo, hi float64) int {
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	return len(p.obj) - 1
+}
+
+// SetObjective replaces the objective coefficient of variable v.
+func (p *Problem) SetObjective(v int, c float64) { p.obj[v] = c }
+
+// Objective returns the objective coefficient of variable v.
+func (p *Problem) Objective(v int) float64 { return p.obj[v] }
+
+// SetBounds replaces the bounds of variable v. Branch-and-bound uses this to
+// fix binaries.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// AddConstraint appends the constraint Σ terms {op} rhs and returns its
+// index. Terms referencing the same variable are summed. Variable indices
+// must already exist.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) (int, error) {
+	merged := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			return 0, fmt.Errorf("lp: constraint references unknown variable %d", t.Var)
+		}
+		merged[t.Var] += t.Coef
+	}
+	compact := make([]Term, 0, len(merged))
+	for v, c := range merged {
+		if c != 0 {
+			compact = append(compact, Term{Var: v, Coef: c})
+		}
+	}
+	p.cons = append(p.cons, constraint{terms: compact, op: op, rhs: rhs})
+	return len(p.cons) - 1, nil
+}
+
+// MustAddConstraint is AddConstraint but panics on error; convenient when the
+// caller has just created the variables itself.
+func (p *Problem) MustAddConstraint(terms []Term, op Op, rhs float64) int {
+	i, err := p.AddConstraint(terms, op, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// Clone returns a deep copy of the problem. Branch-and-bound clones the root
+// problem once and then mutates bounds per node.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		obj:  append([]float64(nil), p.obj...),
+		lo:   append([]float64(nil), p.lo...),
+		hi:   append([]float64(nil), p.hi...),
+		cons: make([]constraint, len(p.cons)),
+	}
+	for i, c := range p.cons {
+		q.cons[i] = constraint{
+			terms: append([]Term(nil), c.terms...),
+			op:    c.op,
+			rhs:   c.rhs,
+		}
+	}
+	return q
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Status == Optimal)
+	Objective float64   // cᵀx at X
+}
+
+// Options tunes the solver. The zero value selects defaults.
+type Options struct {
+	// MaxIters bounds the total number of simplex iterations across both
+	// phases. 0 selects 50·(m+n)+10000.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance. 0 selects 1e-9.
+	Tol float64
+}
+
+// ErrBadModel reports a structurally invalid problem (no variables,
+// inverted or non-finite lower bounds).
+var ErrBadModel = errors.New("lp: invalid model")
+
+// Solve optimizes the problem and returns the solution. The problem itself
+// is not modified. A nil opts selects defaults.
+func (p *Problem) Solve(opts *Options) (*Solution, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	n := len(p.obj)
+	m := len(p.cons)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no variables", ErrBadModel)
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 50*(m+n) + 10000
+	}
+	for j := 0; j < n; j++ {
+		if math.IsInf(p.lo[j], 0) || math.IsNaN(p.lo[j]) {
+			return nil, fmt.Errorf("%w: variable %d has non-finite lower bound", ErrBadModel, j)
+		}
+		if p.hi[j] < p.lo[j] {
+			// An empty box is an infeasible model, not a structural error.
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	s := newSimplex(p, o)
+	return s.solve()
+}

@@ -1,0 +1,154 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIterationLimitStatus(t *testing.T) {
+	p := NewProblem()
+	var terms []Term
+	for j := 0; j < 40; j++ {
+		v := p.AddVariable(-float64(j+1), 0, 10)
+		terms = append(terms, Term{Var: v, Coef: float64(j%7 + 1)})
+	}
+	p.MustAddConstraint(terms, LE, 100)
+	sol, err := p.Solve(&Options{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterationLimit {
+		t.Errorf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestSolveDoesNotMutateProblem(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(-1, 0, 5)
+	y := p.AddVariable(-2, 0, 5)
+	p.MustAddConstraint([]Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 6)
+	first, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Objective != second.Objective {
+		t.Errorf("objective changed between solves: %v vs %v", first.Objective, second.Objective)
+	}
+	if lo, hi := p.Bounds(x); lo != 0 || hi != 5 {
+		t.Errorf("bounds mutated: [%v, %v]", lo, hi)
+	}
+}
+
+// TestRandomEqualitySystems builds random full-rank 2×2 equality systems
+// whose unique solution is known, and checks the simplex recovers it when
+// feasible and detects infeasibility when the solution violates bounds.
+func TestRandomEqualitySystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		// Pick an intended solution and a random invertible matrix.
+		x0 := rng.Float64()*8 - 2 // may be negative → infeasible under lo=0
+		y0 := rng.Float64()*8 - 2
+		a, bb, c, d := rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2
+		if math.Abs(a*d-bb*c) < 0.1 {
+			continue // poorly conditioned; skip
+		}
+		r1 := a*x0 + bb*y0
+		r2 := c*x0 + d*y0
+
+		p := NewProblem()
+		x := p.AddVariable(rng.Float64()*2-1, 0, math.Inf(1))
+		y := p.AddVariable(rng.Float64()*2-1, 0, math.Inf(1))
+		p.MustAddConstraint([]Term{{Var: x, Coef: a}, {Var: y, Coef: bb}}, EQ, r1)
+		p.MustAddConstraint([]Term{{Var: x, Coef: c}, {Var: y, Coef: d}}, EQ, r2)
+		sol, err := p.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := x0 >= -1e-9 && y0 >= -1e-9
+		if feasible {
+			if sol.Status != Optimal {
+				t.Fatalf("trial %d: status %v for feasible system (x0=%v y0=%v)",
+					trial, sol.Status, x0, y0)
+			}
+			if math.Abs(sol.X[x]-x0) > 1e-6 || math.Abs(sol.X[y]-y0) > 1e-6 {
+				t.Fatalf("trial %d: got (%v, %v), want (%v, %v)",
+					trial, sol.X[x], sol.X[y], x0, y0)
+			}
+		} else if sol.Status != Infeasible {
+			t.Fatalf("trial %d: status %v for infeasible system (x0=%v y0=%v)",
+				trial, sol.Status, x0, y0)
+		}
+	}
+}
+
+// TestDualityGapSpotCheck verifies weak duality on a fixed primal/dual pair.
+func TestDualityGapSpotCheck(t *testing.T) {
+	// Primal: min 3x + 4y s.t. x + 2y >= 14, 3x - y >= 0, x - y <= 2, x,y>=0.
+	p := NewProblem()
+	x := p.AddVariable(3, 0, math.Inf(1))
+	y := p.AddVariable(4, 0, math.Inf(1))
+	p.MustAddConstraint([]Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}}, GE, 14)
+	p.MustAddConstraint([]Term{{Var: x, Coef: 3}, {Var: y, Coef: -1}}, GE, 0)
+	p.MustAddConstraint([]Term{{Var: x, Coef: 1}, {Var: y, Coef: -1}}, LE, 2)
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Optimum: x=2, y=6 → 30? Check: x+2y=14 ✓ binding, 3x−y=0 ✓ binding,
+	// x−y=−4 ≤ 2 ✓. Objective 3·2+4·6 = 30.
+	if math.Abs(sol.Objective-30) > 1e-6 {
+		t.Errorf("objective %v, want 30", sol.Objective)
+	}
+}
+
+func TestManyRedundantRows(t *testing.T) {
+	// Heavily redundant systems stress phase-1 artificial eviction.
+	p := NewProblem()
+	x := p.AddVariable(1, 0, math.Inf(1))
+	y := p.AddVariable(1, 0, math.Inf(1))
+	for k := 1; k <= 20; k++ {
+		f := float64(k)
+		p.MustAddConstraint([]Term{{Var: x, Coef: f}, {Var: y, Coef: f}}, EQ, 10*f)
+	}
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-10) > 1e-6 {
+		t.Errorf("status %v obj %v, want optimal 10", sol.Status, sol.Objective)
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	// Variables with lo == hi (as branch-and-bound creates) must be honored
+	// and skipped by the active-column machinery.
+	p := NewProblem()
+	x := p.AddVariable(1, 3, 3) // fixed at 3
+	y := p.AddVariable(1, 0, math.Inf(1))
+	p.MustAddConstraint([]Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, GE, 10)
+	sol, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[x]-3) > 1e-9 || math.Abs(sol.X[y]-7) > 1e-6 {
+		t.Errorf("got %v, want (3, 7)", sol.X)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("operator strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterationLimit.String() != "iteration-limit" {
+		t.Error("status strings wrong")
+	}
+}

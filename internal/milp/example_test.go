@@ -1,0 +1,37 @@
+package milp_test
+
+import (
+	"fmt"
+
+	"ctdvs/internal/lp"
+	"ctdvs/internal/milp"
+)
+
+func ExampleSolve() {
+	// A 0/1 knapsack: maximize 8a + 11b + 6c + 4d with 5a + 7b + 4c + 3d ≤ 14.
+	p := lp.NewProblem()
+	values := []float64{8, 11, 6, 4}
+	weights := []float64{5, 7, 4, 3}
+	var vars []int
+	var knap []lp.Term
+	for i := range values {
+		v := p.AddVariable(-values[i], 0, 1)
+		vars = append(vars, v)
+		knap = append(knap, lp.Term{Var: v, Coef: weights[i]})
+	}
+	p.MustAddConstraint(knap, lp.LE, 14)
+
+	res, err := milp.Solve(&milp.Problem{LP: p, Integers: vars}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v: value %.0f, picks:", res.Status, -res.Objective)
+	for i, v := range vars {
+		if res.X[v] > 0.5 {
+			fmt.Printf(" %c", 'a'+i)
+		}
+	}
+	fmt.Println()
+	// Output:
+	// optimal: value 21, picks: b c d
+}

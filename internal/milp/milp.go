@@ -1,0 +1,388 @@
+// Package milp implements a branch-and-bound mixed-integer linear program
+// solver on top of the simplex engine in package lp. Together they replace
+// the AMPL + CPLEX toolchain of the original paper (Section 5.3) with a
+// self-contained, offline, stdlib-only implementation.
+//
+// The solver supports binary/integer restrictions on a subset of variables,
+// optional SOS1 group hints (sets of binaries that sum to one, which is the
+// dominant structure of the DVS formulation — one mode variable per
+// control-flow edge), best-bound node selection, most-fractional branching,
+// an SOS1 rounding heuristic for early incumbents, and node/time limits.
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ctdvs/internal/lp"
+)
+
+// Problem is a mixed-integer linear program: an LP plus integrality
+// restrictions.
+type Problem struct {
+	// LP is the relaxation. Solve does not modify it.
+	LP *lp.Problem
+	// Integers lists the variables restricted to integer values. For the DVS
+	// formulation these are the 0/1 mode variables.
+	Integers []int
+	// SOS1 optionally lists groups of binary variables of which exactly one
+	// is 1 (enforced by an equality constraint already present in LP). The
+	// groups guide the rounding heuristic; they are hints, not constraints.
+	SOS1 [][]int
+}
+
+// Status describes the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent was proven optimal (within Options.Gap).
+	Optimal Status = iota
+	// Feasible means a limit stopped the search with an incumbent in hand.
+	Feasible
+	// Infeasible means no integer point satisfies the constraints.
+	Infeasible
+	// Unbounded means the relaxation is unbounded below.
+	Unbounded
+	// NoSolution means a limit stopped the search before any incumbent.
+	NoSolution
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options tunes the search. The zero value selects defaults.
+type Options struct {
+	// TimeLimit bounds wall-clock search time; 0 means unlimited.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of branch-and-bound nodes; 0 selects 200000.
+	MaxNodes int
+	// Gap is the relative optimality gap at which the search stops and the
+	// incumbent is declared optimal; 0 selects 1e-7.
+	Gap float64
+	// IntTol is the integrality tolerance; 0 selects 1e-6.
+	IntTol float64
+	// LP tunes the relaxation solver.
+	LP *lp.Options
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status    Status
+	X         []float64 // incumbent point (Optimal or Feasible)
+	Objective float64   // incumbent objective
+	Bound     float64   // best proven lower bound on the optimum
+	Nodes     int       // branch-and-bound nodes explored
+	LPIters   int       // total LP solves performed
+	SolveTime time.Duration
+}
+
+type bound struct{ lo, hi float64 }
+
+// node is one branch-and-bound subproblem: bound overrides relative to the
+// root plus the parent relaxation value used as its priority.
+type node struct {
+	overrides map[int]bound
+	lpBound   float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].lpBound < h[j].lpBound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Solve runs branch and bound and returns the best integer solution found.
+func Solve(p *Problem, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.Gap == 0 {
+		o.Gap = 1e-7
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	if p.LP == nil {
+		return nil, errors.New("milp: nil LP")
+	}
+	for _, v := range p.Integers {
+		if v < 0 || v >= p.LP.NumVars() {
+			return nil, fmt.Errorf("milp: integer variable %d out of range", v)
+		}
+	}
+
+	s := &search{
+		prob:  p,
+		opts:  o,
+		work:  p.LP.Clone(),
+		start: time.Now(),
+	}
+	// Remember root bounds so per-node overrides can be applied and undone.
+	s.rootLo = make([]float64, s.work.NumVars())
+	s.rootHi = make([]float64, s.work.NumVars())
+	for j := 0; j < s.work.NumVars(); j++ {
+		s.rootLo[j], s.rootHi[j] = s.work.Bounds(j)
+	}
+	res := s.run()
+	res.SolveTime = time.Since(s.start)
+	return res, nil
+}
+
+type search struct {
+	prob  *Problem
+	opts  Options
+	work  *lp.Problem
+	start time.Time
+
+	rootLo, rootHi []float64
+
+	incumbent    []float64
+	incumbentObj float64
+	haveInc      bool
+
+	nodes   int
+	lpIters int
+}
+
+func (s *search) timeUp() bool {
+	return s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit
+}
+
+// solveWith applies the node's bound overrides, solves the relaxation, and
+// restores the root bounds.
+func (s *search) solveWith(ov map[int]bound) (*lp.Solution, error) {
+	for v, b := range ov {
+		s.work.SetBounds(v, b.lo, b.hi)
+	}
+	sol, err := s.work.Solve(s.opts.LP)
+	for v := range ov {
+		s.work.SetBounds(v, s.rootLo[v], s.rootHi[v])
+	}
+	s.lpIters++
+	return sol, err
+}
+
+// fractional returns the integer variable whose value is farthest from an
+// integer, or -1 if the point is integral within tolerance.
+func (s *search) fractional(x []float64) int {
+	best, bestDist := -1, s.opts.IntTol
+	for _, v := range s.prob.Integers {
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = v, dist
+		}
+	}
+	return best
+}
+
+// accept records a new incumbent if it improves on the current one.
+func (s *search) accept(x []float64, obj float64) {
+	if !s.haveInc || obj < s.incumbentObj-1e-12 {
+		s.incumbent = append([]float64(nil), x...)
+		s.incumbentObj = obj
+		s.haveInc = true
+	}
+}
+
+// roundingHeuristic tries to convert a fractional relaxation point into an
+// integer-feasible incumbent: SOS1 groups pick their argmax member; stray
+// integer variables round to nearest. The rounded binaries are fixed and the
+// LP re-solved so continuous variables adapt; a feasible integral solve
+// becomes an incumbent.
+func (s *search) roundingHeuristic(x []float64, ov map[int]bound) {
+	fixed := make(map[int]bound, len(s.prob.Integers)+len(ov))
+	for v, b := range ov {
+		fixed[v] = b
+	}
+	inGroup := make(map[int]bool)
+	for _, g := range s.prob.SOS1 {
+		argmax, best := -1, -1.0
+		for _, v := range g {
+			// Respect existing overrides: a variable fixed to 0 cannot be
+			// chosen.
+			_, hi := boundsOf(v, fixed, s.rootLo, s.rootHi)
+			if hi < 0.5 {
+				inGroup[v] = true
+				continue
+			}
+			if x[v] > best {
+				argmax, best = v, x[v]
+			}
+			inGroup[v] = true
+		}
+		if argmax < 0 {
+			return // group fully excluded; heuristic cannot help here
+		}
+		for _, v := range g {
+			if v == argmax {
+				fixed[v] = bound{1, 1}
+			} else {
+				fixed[v] = bound{0, 0}
+			}
+		}
+	}
+	for _, v := range s.prob.Integers {
+		if inGroup[v] {
+			continue
+		}
+		r := math.Round(x[v])
+		lo, hi := boundsOf(v, fixed, s.rootLo, s.rootHi)
+		if r < lo || r > hi {
+			return
+		}
+		fixed[v] = bound{r, r}
+	}
+	sol, err := s.solveWith(fixed)
+	if err != nil || sol.Status != lp.Optimal {
+		return
+	}
+	if s.fractional(sol.X) >= 0 {
+		return
+	}
+	s.accept(sol.X, sol.Objective)
+}
+
+func boundsOf(v int, ov map[int]bound, rootLo, rootHi []float64) (float64, float64) {
+	if b, ok := ov[v]; ok {
+		return b.lo, b.hi
+	}
+	return rootLo[v], rootHi[v]
+}
+
+func (s *search) run() *Result {
+	rootSol, err := s.solveWith(nil)
+	if err != nil {
+		return &Result{Status: NoSolution}
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return &Result{Status: Infeasible, Nodes: 1, LPIters: s.lpIters}
+	case lp.Unbounded:
+		return &Result{Status: Unbounded, Nodes: 1, LPIters: s.lpIters}
+	case lp.IterationLimit:
+		return &Result{Status: NoSolution, Nodes: 1, LPIters: s.lpIters}
+	}
+
+	h := &nodeHeap{{overrides: map[int]bound{}, lpBound: rootSol.Objective}}
+	heap.Init(h)
+	bestBound := rootSol.Objective
+
+	for h.Len() > 0 {
+		if s.nodes >= s.opts.MaxNodes || s.timeUp() {
+			return s.finish(Feasible, bestBound)
+		}
+		nd := heap.Pop(h).(*node)
+		bestBound = nd.lpBound
+		if s.haveInc && !better(nd.lpBound, s.incumbentObj, s.opts.Gap) {
+			// Best-bound order: nothing left can improve the incumbent.
+			return s.finish(Optimal, nd.lpBound)
+		}
+		s.nodes++
+
+		sol, err := s.solveWith(nd.overrides)
+		if err != nil || sol.Status == lp.IterationLimit {
+			continue // treat as unexplorable; bound stays conservative
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible subtree
+		}
+		if s.haveInc && !better(sol.Objective, s.incumbentObj, s.opts.Gap) {
+			continue // dominated
+		}
+
+		branch := s.fractional(sol.X)
+		if branch < 0 {
+			s.accept(sol.X, sol.Objective)
+			continue
+		}
+
+		// Heuristic incumbent from this relaxation point: always at the
+		// root and whenever the incumbent is missing, and periodically
+		// thereafter so pruning keeps a fresh bound (cheap relative to the
+		// dives it prunes).
+		if !s.haveInc || s.nodes%64 == 1 {
+			s.roundingHeuristic(sol.X, nd.overrides)
+		}
+
+		lo, hi := boundsOf(branch, nd.overrides, s.rootLo, s.rootHi)
+		f := sol.X[branch]
+		down := cloneOverrides(nd.overrides)
+		down[branch] = bound{lo, math.Floor(f)}
+		up := cloneOverrides(nd.overrides)
+		up[branch] = bound{math.Ceil(f), hi}
+		heap.Push(h, &node{overrides: down, lpBound: sol.Objective})
+		heap.Push(h, &node{overrides: up, lpBound: sol.Objective})
+	}
+
+	if s.haveInc {
+		return s.finish(Optimal, s.incumbentObj)
+	}
+	return &Result{Status: Infeasible, Nodes: s.nodes, LPIters: s.lpIters}
+}
+
+// better reports whether objective obj improves on the incumbent by more
+// than the relative gap.
+func better(obj, incumbent, gap float64) bool {
+	return obj < incumbent-gap*(1+math.Abs(incumbent))
+}
+
+func cloneOverrides(ov map[int]bound) map[int]bound {
+	out := make(map[int]bound, len(ov)+1)
+	for k, v := range ov {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *search) finish(st Status, bnd float64) *Result {
+	res := &Result{
+		Status:  st,
+		Bound:   bnd,
+		Nodes:   s.nodes,
+		LPIters: s.lpIters,
+	}
+	if s.haveInc {
+		res.X = s.incumbent
+		res.Objective = s.incumbentObj
+		// When the search stops because the best remaining relaxation
+		// crossed the incumbent, the incumbent itself is the tightest
+		// proven lower bound on the optimum.
+		if res.Bound > res.Objective {
+			res.Bound = res.Objective
+		}
+	} else if st != Infeasible && st != Unbounded {
+		res.Status = NoSolution
+	}
+	return res
+}

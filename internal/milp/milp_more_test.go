@@ -1,0 +1,143 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ctdvs/internal/lp"
+)
+
+func TestGeneralIntegerVariables(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x,y integer in [0, 10].
+	// Integer optimum: x=4, y=0 (6·4 = 24 binding), objective 20.
+	p := lp.NewProblem()
+	x := p.AddVariable(-5, 0, 10)
+	y := p.AddVariable(-4, 0, 10)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 6}, {Var: y, Coef: 4}}, lp.LE, 24)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}}, lp.LE, 6)
+	res, err := Solve(&Problem{LP: p, Integers: []int{x, y}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective+20) > 1e-6 {
+		t.Errorf("status %v obj %v, want optimal -20 (x=%v)", res.Status, res.Objective, res.X)
+	}
+	if math.Abs(res.X[x]-4) > 1e-6 || math.Abs(res.X[y]) > 1e-6 {
+		t.Errorf("x = %v, want (4, 0)", res.X)
+	}
+}
+
+func TestGapStopsEarlyButNearOptimal(t *testing.T) {
+	// A knapsack with many similar items: a 5% gap must return a solution
+	// within 5% of the true optimum.
+	rng := rand.New(rand.NewSource(8))
+	p := lp.NewProblem()
+	var bins []int
+	var weight []lp.Term
+	values := make([]float64, 25)
+	weights := make([]float64, 25)
+	for j := range values {
+		values[j] = 10 + rng.Float64()
+		weights[j] = 5 + rng.Float64()
+		v := p.AddVariable(-values[j], 0, 1)
+		bins = append(bins, v)
+		weight = append(weight, lp.Term{Var: v, Coef: weights[j]})
+	}
+	p.MustAddConstraint(weight, lp.LE, 60)
+
+	exact, err := Solve(&Problem{LP: p, Integers: bins}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Solve(&Problem{LP: p, Integers: bins}, &Options{Gap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Status != Optimal && loose.Status != Feasible {
+		t.Fatalf("loose status %v", loose.Status)
+	}
+	if loose.Objective > exact.Objective*(1-0.055) {
+		// Objectives are negative (maximization); loose must be within 5.5%.
+		t.Errorf("gap solution %v too far from optimum %v", loose.Objective, exact.Objective)
+	}
+	if loose.Nodes > exact.Nodes {
+		t.Logf("note: loose gap explored more nodes (%d vs %d)", loose.Nodes, exact.Nodes)
+	}
+}
+
+func TestSOS1HeuristicFindsIncumbentFast(t *testing.T) {
+	// A pure SOS1 selection problem is solved by the rounding heuristic at
+	// the root; node count should stay tiny.
+	p := lp.NewProblem()
+	var groups [][]int
+	var ints []int
+	rng := rand.New(rand.NewSource(5))
+	var budget []lp.Term
+	for g := 0; g < 40; g++ {
+		var row []lp.Term
+		var grp []int
+		for m := 0; m < 3; m++ {
+			v := p.AddVariable(rng.Float64()*5+float64(3-m), 0, 1)
+			row = append(row, lp.Term{Var: v, Coef: 1})
+			grp = append(grp, v)
+			ints = append(ints, v)
+			budget = append(budget, lp.Term{Var: v, Coef: float64(m + 1)})
+		}
+		p.MustAddConstraint(row, lp.EQ, 1)
+		groups = append(groups, grp)
+	}
+	p.MustAddConstraint(budget, lp.LE, 90)
+	res, err := Solve(&Problem{LP: p, Integers: ints, SOS1: groups}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	for _, grp := range groups {
+		sum := 0.0
+		for _, v := range grp {
+			sum += res.X[v]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("SOS1 violated: sum %v", sum)
+		}
+	}
+}
+
+func TestBoundNeverExceedsObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		p := lp.NewProblem()
+		var bins []int
+		var terms []lp.Term
+		for j := 0; j < 8; j++ {
+			v := p.AddVariable(rng.Float64()*4-2, 0, 1)
+			bins = append(bins, v)
+			terms = append(terms, lp.Term{Var: v, Coef: rng.Float64()*3 - 1})
+		}
+		p.MustAddConstraint(terms, lp.LE, rng.Float64()*4)
+		res, err := Solve(&Problem{LP: p, Integers: bins}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Optimal && res.Bound > res.Objective+1e-6 {
+			t.Fatalf("trial %d: bound %v above objective %v", trial, res.Bound, res.Objective)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal:    "optimal",
+		Feasible:   "feasible",
+		Infeasible: "infeasible",
+		Unbounded:  "unbounded",
+		NoSolution: "no-solution",
+	} {
+		if s.String() != want {
+			t.Errorf("%d: %q", s, s.String())
+		}
+	}
+}

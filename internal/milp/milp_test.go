@@ -1,0 +1,319 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctdvs/internal/lp"
+)
+
+const tol = 1e-5
+
+func solveOK(t *testing.T, p *Problem, opts *Options) *Result {
+	t.Helper()
+	res, err := Solve(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	return res
+}
+
+func TestPureLPPassThrough(t *testing.T) {
+	// No integer variables: MILP must equal the LP optimum.
+	p := lp.NewProblem()
+	x := p.AddVariable(-3, 0, math.Inf(1))
+	y := p.AddVariable(-5, 0, math.Inf(1))
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 4)
+	p.MustAddConstraint([]lp.Term{{Var: y, Coef: 2}}, lp.LE, 12)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, lp.LE, 18)
+	res := solveOK(t, &Problem{LP: p}, nil)
+	if math.Abs(res.Objective+36) > tol {
+		t.Errorf("obj = %v, want -36", res.Objective)
+	}
+	if res.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", res.Nodes)
+	}
+}
+
+func TestClassicKnapsack(t *testing.T) {
+	// max 8a + 11b + 6c + 4d s.t. 5a + 7b + 4c + 3d <= 14, binary.
+	// Optimum: b=c=d=1 (weight 14), value 21; the LP relaxation is
+	// fractional (a=1, b=1, c=0.5), so branching is exercised.
+	p := lp.NewProblem()
+	vals := []float64{8, 11, 6, 4}
+	wts := []float64{5, 7, 4, 3}
+	var vars []int
+	var cons []lp.Term
+	for i := range vals {
+		v := p.AddVariable(-vals[i], 0, 1)
+		vars = append(vars, v)
+		cons = append(cons, lp.Term{Var: v, Coef: wts[i]})
+	}
+	p.MustAddConstraint(cons, lp.LE, 14)
+	res := solveOK(t, &Problem{LP: p, Integers: vars}, nil)
+	if math.Abs(res.Objective+21) > tol {
+		t.Errorf("obj = %v, want -21 (x=%v)", res.Objective, res.X)
+	}
+	for _, v := range vars {
+		r := math.Round(res.X[v])
+		if math.Abs(res.X[v]-r) > 1e-6 {
+			t.Errorf("x[%d] = %v not integral", v, res.X[v])
+		}
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x + y s.t. 2x + y <= 5.5, x + 2y <= 5.5, integer.
+	// LP relaxation: x=y=11/6; integer optimum x=y=1 obj 2... check: x=2,y=1:
+	// 2*2+1=5<=5.5 ok, 2+2=4<=5.5 ok → obj 3. So optimum 3.
+	p := lp.NewProblem()
+	x := p.AddVariable(-1, 0, 10)
+	y := p.AddVariable(-1, 0, 10)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 1}}, lp.LE, 5.5)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}}, lp.LE, 5.5)
+	res := solveOK(t, &Problem{LP: p, Integers: []int{x, y}}, nil)
+	if math.Abs(res.Objective+3) > tol {
+		t.Errorf("obj = %v, want -3 (x=%v)", res.Objective, res.X)
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 <= x <= 0.6, x binary → infeasible.
+	p := lp.NewProblem()
+	x := p.AddVariable(1, 0, 1)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 0.4)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 0.6)
+	res, err := Solve(&Problem{LP: p, Integers: []int{x}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVariable(1, 0, 1)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.GE, 2)
+	res, err := Solve(&Problem{LP: p, Integers: []int{x}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := lp.NewProblem()
+	p.AddVariable(-1, 0, math.Inf(1))
+	res, err := Solve(&Problem{LP: p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestBadIntegerIndex(t *testing.T) {
+	p := lp.NewProblem()
+	p.AddVariable(1, 0, 1)
+	if _, err := Solve(&Problem{LP: p, Integers: []int{3}}, nil); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := Solve(&Problem{}, nil); err == nil {
+		t.Error("expected error for nil LP")
+	}
+}
+
+// TestSOS1ModeSelection mirrors the DVS structure: groups of binaries pick
+// one mode each, with a shared deadline budget.
+func TestSOS1ModeSelection(t *testing.T) {
+	// Two regions, two modes. Mode 0: cheap+slow (E=1, T=10); mode 1:
+	// costly+fast (E=4, T=5). Deadline 25: region budget allows slow+slow
+	// (T=20). Deadline 16: must mix (15 = 10+5). Deadline 10: both fast.
+	build := func() (*lp.Problem, [][]int) {
+		p := lp.NewProblem()
+		var groups [][]int
+		for r := 0; r < 2; r++ {
+			k0 := p.AddVariable(1, 0, 1)
+			k1 := p.AddVariable(4, 0, 1)
+			p.MustAddConstraint([]lp.Term{{Var: k0, Coef: 1}, {Var: k1, Coef: 1}}, lp.EQ, 1)
+			groups = append(groups, []int{k0, k1})
+		}
+		return p, groups
+	}
+	addDeadline := func(p *lp.Problem, groups [][]int, d float64) {
+		var terms []lp.Term
+		for _, g := range groups {
+			terms = append(terms, lp.Term{Var: g[0], Coef: 10}, lp.Term{Var: g[1], Coef: 5})
+		}
+		p.MustAddConstraint(terms, lp.LE, d)
+	}
+	cases := []struct {
+		deadline float64
+		wantObj  float64
+	}{
+		{25, 2}, // both slow
+		{16, 5}, // one slow one fast
+		{10, 8}, // both fast
+	}
+	for _, c := range cases {
+		p, groups := build()
+		addDeadline(p, groups, c.deadline)
+		var ints []int
+		for _, g := range groups {
+			ints = append(ints, g...)
+		}
+		res := solveOK(t, &Problem{LP: p, Integers: ints, SOS1: groups}, nil)
+		if math.Abs(res.Objective-c.wantObj) > tol {
+			t.Errorf("deadline %v: obj = %v, want %v", c.deadline, res.Objective, c.wantObj)
+		}
+	}
+}
+
+// TestRandomVersusBruteForce compares B&B against exhaustive enumeration of
+// binary assignments on small random MILPs.
+func TestRandomVersusBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		nb := 2 + rng.Intn(4) // 2-5 binaries
+		p := lp.NewProblem()
+		var bins []int
+		for j := 0; j < nb; j++ {
+			bins = append(bins, p.AddVariable(rng.Float64()*4-2, 0, 1))
+		}
+		// One or two random LE constraints.
+		type rec struct {
+			coefs []float64
+			rhs   float64
+		}
+		var recs []rec
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			coefs := make([]float64, nb)
+			terms := make([]lp.Term, nb)
+			for j := 0; j < nb; j++ {
+				coefs[j] = rng.Float64()*4 - 2
+				terms[j] = lp.Term{Var: bins[j], Coef: coefs[j]}
+			}
+			rhs := rng.Float64()*3 - 0.5
+			recs = append(recs, rec{coefs, rhs})
+			p.MustAddConstraint(terms, lp.LE, rhs)
+		}
+		res, err := Solve(&Problem{LP: p, Integers: bins}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force.
+		bestObj := math.Inf(1)
+		found := false
+		for mask := 0; mask < 1<<nb; mask++ {
+			feas := true
+			for _, r := range recs {
+				v := 0.0
+				for j := 0; j < nb; j++ {
+					if mask&(1<<j) != 0 {
+						v += r.coefs[j]
+					}
+				}
+				if v > r.rhs+1e-9 {
+					feas = false
+					break
+				}
+			}
+			if !feas {
+				continue
+			}
+			found = true
+			obj := 0.0
+			for j := 0; j < nb; j++ {
+				if mask&(1<<j) != 0 {
+					obj += p.Objective(bins[j])
+				}
+			}
+			if obj < bestObj {
+				bestObj = obj
+			}
+		}
+
+		if !found {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal", trial, res.Status)
+		}
+		if math.Abs(res.Objective-bestObj) > tol {
+			t.Fatalf("trial %d: obj %v, brute force %v", trial, res.Objective, bestObj)
+		}
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing branching, with MaxNodes=1: should stop early.
+	p := lp.NewProblem()
+	x := p.AddVariable(-1, 0, 10)
+	y := p.AddVariable(-1, 0, 10)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 1}}, lp.LE, 5.5)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}}, lp.LE, 5.5)
+	res, err := Solve(&Problem{LP: p, Integers: []int{x, y}}, &Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == Optimal && res.Nodes > 1 {
+		t.Errorf("node limit ignored: %d nodes", res.Nodes)
+	}
+	if res.Status != Optimal && res.Status != Feasible && res.Status != NoSolution {
+		t.Errorf("unexpected status %v", res.Status)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	// With an absurdly small time limit the solver must still return.
+	p := lp.NewProblem()
+	var bins []int
+	rng := rand.New(rand.NewSource(3))
+	var terms []lp.Term
+	for j := 0; j < 30; j++ {
+		v := p.AddVariable(rng.Float64()-0.5, 0, 1)
+		bins = append(bins, v)
+		terms = append(terms, lp.Term{Var: v, Coef: rng.Float64()})
+	}
+	p.MustAddConstraint(terms, lp.LE, 7.3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Solve(&Problem{LP: p, Integers: bins}, &Options{TimeLimit: time.Millisecond}); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("time limit not honored")
+	}
+}
+
+func TestBoundReported(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVariable(-1, 0, 1)
+	p.MustAddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 0.7)
+	res := solveOK(t, &Problem{LP: p, Integers: []int{x}}, nil)
+	// Optimum: x=0 (can't reach 1), obj 0. Bound must not exceed objective.
+	if res.Objective != 0 {
+		t.Errorf("obj = %v, want 0", res.Objective)
+	}
+	if res.Bound > res.Objective+tol {
+		t.Errorf("bound %v exceeds objective %v", res.Bound, res.Objective)
+	}
+}

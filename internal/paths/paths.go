@@ -1,0 +1,286 @@
+// Package paths implements Ball–Larus efficient path profiling on the
+// control-flow graphs of package cfg. The original paper's future-work
+// section (Section 7) proposes moving the DVS formulation "from edges to
+// paths" to build more program context into mode-set positioning, citing
+// Ball and Larus's path-profiling algorithm; this package provides that
+// substrate: acyclic-path numbering, a low-overhead execution tracer that
+// plugs into the simulator's EdgeHook, unique path identification, path
+// decoding, and hot-path reports.
+//
+// Path semantics: the CFG's back edges (identified by depth-first search
+// from the entry) delimit paths, as in Ball–Larus. A path starts at the
+// program entry or at a back edge's target, follows forward (DAG) edges,
+// and ends where a back edge is taken or the program exits. Each (start,
+// end, id) triple uniquely identifies one acyclic block sequence: the
+// Ball–Larus edge increments make the running sum along any two distinct
+// forward paths between the same endpoints differ.
+package paths
+
+import (
+	"fmt"
+	"sort"
+
+	"ctdvs/internal/cfg"
+)
+
+// Numbering holds the Ball–Larus edge increments for a graph.
+type Numbering struct {
+	g       *cfg.Graph
+	back    []bool  // per edge ID: is a back edge
+	inc     []int64 // per edge ID: increment along forward edges
+	numFrom []int64 // per block: number of forward paths from the block
+}
+
+// New computes the numbering for a graph. Back edges are those reaching a
+// block on the depth-first stack (the conventional definition; DFS visits
+// successors in terminator order from the entry block).
+func New(g *cfg.Graph) (*Numbering, error) {
+	n := &Numbering{
+		g:       g,
+		back:    make([]bool, g.NumEdges()),
+		inc:     make([]int64, g.NumEdges()),
+		numFrom: make([]int64, g.NumBlocks),
+	}
+
+	// Identify back edges with an iterative DFS (color marking).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, g.NumBlocks)
+	type frame struct {
+		block int
+		next  int // next successor index to visit
+	}
+	stack := []frame{{block: 0}}
+	color[0] = gray
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.block)
+		if f.next >= len(succs) {
+			color[f.block] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		w := succs[f.next]
+		f.next++
+		e := g.EdgeID(cfg.Edge{From: f.block, To: w})
+		switch color[w] {
+		case gray:
+			n.back[e] = true
+		case white:
+			color[w] = gray
+			stack = append(stack, frame{block: w})
+		}
+	}
+
+	// Count forward paths in reverse topological order of the DAG and
+	// assign Ball–Larus increments: inc(u→w) = Σ numFrom of w's earlier
+	// forward siblings.
+	order, err := n.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		total := int64(0)
+		sawForward := false
+		acc := int64(0)
+		for _, w := range g.Succs(u) {
+			e := g.EdgeID(cfg.Edge{From: u, To: w})
+			if n.back[e] {
+				continue
+			}
+			sawForward = true
+			n.inc[e] = acc
+			acc += n.numFrom[w]
+			total += n.numFrom[w]
+		}
+		if !sawForward {
+			total = 1 // the path that ends here
+		}
+		n.numFrom[u] = total
+	}
+	return n, nil
+}
+
+// topoOrder returns a topological order of the forward (non-back) edges.
+func (n *Numbering) topoOrder() ([]int, error) {
+	g := n.g
+	indeg := make([]int, g.NumBlocks)
+	for ei, e := range g.Edges {
+		if e.From == cfg.Entry || n.back[ei] {
+			continue
+		}
+		indeg[e.To]++
+	}
+	var queue []int
+	for b := 0; b < g.NumBlocks; b++ {
+		if indeg[b] == 0 {
+			queue = append(queue, b)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, w := range g.Succs(u) {
+			if n.back[g.EdgeID(cfg.Edge{From: u, To: w})] {
+				continue
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != g.NumBlocks {
+		return nil, fmt.Errorf("paths: graph is not reducible to a DAG by DFS back edges")
+	}
+	return order, nil
+}
+
+// IsBackEdge reports whether e was classified as a back edge.
+func (n *Numbering) IsBackEdge(e cfg.Edge) bool {
+	id := n.g.EdgeID(e)
+	return id >= 0 && n.back[id]
+}
+
+// NumPathsFrom returns the number of forward paths starting at block b.
+func (n *Numbering) NumPathsFrom(b int) int64 { return n.numFrom[b] }
+
+// Key uniquely identifies one acyclic path: its start block, end block, and
+// Ball–Larus increment sum.
+type Key struct {
+	Start, End int
+	ID         int64
+}
+
+// Tracer accumulates path counts from a stream of edge events (wire its
+// Edge method to sim.Machine.EdgeHook, then call Finish after the run).
+type Tracer struct {
+	n      *Numbering
+	counts map[Key]int64
+	start  int
+	cur    int64
+	at     int
+	live   bool
+}
+
+// NewTracer returns a tracer for this numbering.
+func (n *Numbering) NewTracer() *Tracer {
+	return &Tracer{n: n, counts: make(map[Key]int64)}
+}
+
+// Edge consumes one traversal. The virtual entry edge (from == cfg.Entry)
+// begins the first path.
+func (t *Tracer) Edge(from, to int) {
+	if from == cfg.Entry {
+		t.start, t.cur, t.at, t.live = to, 0, to, true
+		return
+	}
+	if !t.live {
+		// Defensive: events before the entry edge are ignored.
+		return
+	}
+	e := t.n.g.EdgeID(cfg.Edge{From: from, To: to})
+	if e < 0 {
+		return
+	}
+	if t.n.back[e] {
+		t.counts[Key{Start: t.start, End: from, ID: t.cur}]++
+		t.start, t.cur, t.at = to, 0, to
+		return
+	}
+	t.cur += t.n.inc[e]
+	t.at = to
+}
+
+// Finish records the final (exit-terminated) path. Call exactly once after
+// the run completes.
+func (t *Tracer) Finish() {
+	if t.live {
+		t.counts[Key{Start: t.start, End: t.at, ID: t.cur}]++
+		t.live = false
+	}
+}
+
+// Counts returns the accumulated path counts.
+func (t *Tracer) Counts() map[Key]int64 { return t.counts }
+
+// Decode reconstructs the block sequence of a path key by depth-first
+// search over forward edges matching the increment sum exactly. It returns
+// an error for keys that no acyclic path produces.
+func (n *Numbering) Decode(k Key) ([]int, error) {
+	var walk func(u int, remaining int64, acc []int) []int
+	walk = func(u int, remaining int64, acc []int) []int {
+		acc = append(acc, u)
+		if u == k.End && remaining == 0 {
+			out := make([]int, len(acc))
+			copy(out, acc)
+			return out
+		}
+		for _, w := range n.g.Succs(u) {
+			e := n.g.EdgeID(cfg.Edge{From: u, To: w})
+			if n.back[e] || n.inc[e] > remaining {
+				continue
+			}
+			if found := walk(w, remaining-n.inc[e], acc); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	seq := walk(k.Start, k.ID, nil)
+	if seq == nil {
+		return nil, fmt.Errorf("paths: key %+v decodes to no acyclic path", k)
+	}
+	return seq, nil
+}
+
+// HotPath is one entry of a hot-path report.
+type HotPath struct {
+	Key    Key
+	Count  int64
+	Blocks []int
+}
+
+// Hot returns the k most frequently executed paths, decoded, ordered by
+// descending count (ties broken deterministically by key).
+func Hot(n *Numbering, counts map[Key]int64, k int) ([]HotPath, error) {
+	type kc struct {
+		key   Key
+		count int64
+	}
+	all := make([]kc, 0, len(counts))
+	for key, c := range counts {
+		all = append(all, kc{key, c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].count != all[b].count {
+			return all[a].count > all[b].count
+		}
+		ka, kb := all[a].key, all[b].key
+		if ka.Start != kb.Start {
+			return ka.Start < kb.Start
+		}
+		if ka.End != kb.End {
+			return ka.End < kb.End
+		}
+		return ka.ID < kb.ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]HotPath, 0, k)
+	for _, e := range all[:k] {
+		blocks, err := n.Decode(e.key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HotPath{Key: e.key, Count: e.count, Blocks: blocks})
+	}
+	return out, nil
+}

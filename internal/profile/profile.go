@@ -1,0 +1,163 @@
+// Package profile runs a program once per DVS mode on the simulator and
+// assembles the profiling data that drives both the analytic model and the
+// MILP optimizer (paper Section 5.1):
+//
+//   - per-block, per-mode execution time T_jm and energy E_jm (averaged per
+//     invocation, as the paper's formulation assumes);
+//   - edge traversal counts G_ij and local-path counts D_hij (gathered once:
+//     control flow is frequency-independent, paper assumption 1);
+//   - whole-run time and energy per mode (Table 4's columns, and the
+//     single-frequency baselines energy savings are normalized against);
+//   - the aggregate analytic-model parameters (Table 7), measured at the
+//     fastest mode.
+package profile
+
+import (
+	"fmt"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/ir"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// Profile is the complete profiling record of one program on one input
+// across all modes of a mode set.
+type Profile struct {
+	Program *ir.Program
+	Input   ir.Input
+	Graph   *cfg.Graph
+	Modes   *volt.ModeSet
+
+	// TimeUS[j][m] / EnergyUJ[j][m]: per-invocation time/energy of block j
+	// at mode m. Zero for blocks that never executed.
+	TimeUS   [][]float64
+	EnergyUJ [][]float64
+	// Invocations[j]: times block j executed.
+	Invocations []int64
+
+	// EdgeCounts[e]: traversals of Graph.Edges[e] (G_ij; entry edge = 1).
+	EdgeCounts []int64
+	// PathCounts[p]: traversals of Graph.Paths[p] (D_hij).
+	PathCounts []int64
+
+	// TotalTimeUS[m] / TotalEnergyUJ[m]: whole-run figures at fixed mode m.
+	TotalTimeUS   []float64
+	TotalEnergyUJ []float64
+
+	// Params are the analytic-model aggregates measured at the fastest mode.
+	Params sim.Params
+}
+
+// Collect profiles the program at every mode of the set.
+func Collect(m *sim.Machine, p *ir.Program, in ir.Input, modes *volt.ModeSet) (*Profile, error) {
+	g, err := cfg.FromProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.CheckConnected(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	nb := g.NumBlocks
+	nm := modes.Len()
+	pr := &Profile{
+		Program:       p,
+		Input:         in,
+		Graph:         g,
+		Modes:         modes,
+		TimeUS:        make([][]float64, nb),
+		EnergyUJ:      make([][]float64, nb),
+		Invocations:   make([]int64, nb),
+		EdgeCounts:    make([]int64, g.NumEdges()),
+		PathCounts:    make([]int64, len(g.Paths)),
+		TotalTimeUS:   make([]float64, nm),
+		TotalEnergyUJ: make([]float64, nm),
+	}
+	for j := 0; j < nb; j++ {
+		pr.TimeUS[j] = make([]float64, nm)
+		pr.EnergyUJ[j] = make([]float64, nm)
+	}
+
+	for mi := 0; mi < nm; mi++ {
+		res, err := m.Run(p, in, modes.Mode(mi))
+		if err != nil {
+			return nil, err
+		}
+		pr.TotalTimeUS[mi] = res.TimeUS
+		pr.TotalEnergyUJ[mi] = res.EnergyUJ
+		for j := 0; j < nb; j++ {
+			bs := res.Blocks[j]
+			if bs.Invocations == 0 {
+				continue
+			}
+			pr.TimeUS[j][mi] = bs.TimeUS / float64(bs.Invocations)
+			pr.EnergyUJ[j][mi] = bs.EnergyUJ / float64(bs.Invocations)
+		}
+		if mi == 0 {
+			// First run fixes the control-flow facts: counts and
+			// invocations.
+			for j := 0; j < nb; j++ {
+				pr.Invocations[j] = res.Blocks[j].Invocations
+			}
+			for e, c := range res.EdgeCounts {
+				id := g.EdgeID(e)
+				if id < 0 {
+					return nil, fmt.Errorf("profile: run produced unknown edge %v", e)
+				}
+				pr.EdgeCounts[id] = c
+			}
+			for pt, c := range res.PathCounts {
+				idx := pathIndex(g, pt)
+				if idx < 0 {
+					return nil, fmt.Errorf("profile: run produced unknown path %v", pt)
+				}
+				pr.PathCounts[idx] = c
+			}
+		} else {
+			// Control flow must be identical at every mode (paper
+			// assumption 1).
+			for j := 0; j < nb; j++ {
+				if res.Blocks[j].Invocations != pr.Invocations[j] {
+					return nil, fmt.Errorf("profile: block %d executed %d times at mode %d but %d at mode 0",
+						j, res.Blocks[j].Invocations, mi, pr.Invocations[j])
+				}
+			}
+		}
+		if mi == nm-1 {
+			// Analytic parameters from the fastest mode (the reference the
+			// paper profiles at).
+			pr.Params = res.Params
+		}
+	}
+	return pr, nil
+}
+
+// pathIndex finds the dense index of a path in the graph's path list.
+func pathIndex(g *cfg.Graph, p cfg.Path) int {
+	for i, q := range g.Paths {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// BestSingleMode returns the index of the slowest mode whose fixed-mode run
+// meets the deadline, and that run's energy; this is the paper's
+// normalization baseline ("best single frequency that meets the deadline").
+// It returns ok=false when even the fastest mode misses the deadline.
+func (pr *Profile) BestSingleMode(deadlineUS float64) (mode int, energyUJ float64, ok bool) {
+	idx := pr.Modes.SlowestMeeting(deadlineUS, func(i int) float64 { return pr.TotalTimeUS[i] })
+	if idx < 0 {
+		return 0, 0, false
+	}
+	return idx, pr.TotalEnergyUJ[idx], true
+}
+
+// EdgeEnergy returns the total energy attributable to edge e at mode m:
+// G_ij · E_{j m} where j is the destination block. This drives the paper's
+// 2 %-tail edge filtering (Section 5.2).
+func (pr *Profile) EdgeEnergy(e int, m int) float64 {
+	dst := pr.Graph.Edges[e].To
+	return float64(pr.EdgeCounts[e]) * pr.EnergyUJ[dst][m]
+}

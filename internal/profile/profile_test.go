@@ -1,0 +1,182 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/ir"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// branchyLoop: a loop whose body conditionally executes a heavy block.
+func branchyLoop(trips int) *ir.Program {
+	b := ir.NewBuilder("branchy")
+	s := b.SequentialStream(1 << 16)
+	head := b.Block("head")
+	heavy := b.Block("heavy")
+	light := b.Block("light")
+	latch := b.Block("latch")
+	exit := b.Block("exit")
+	head.Compute(5).Load(s)
+	b.ProbBranch(head, heavy, light, 0.3)
+	heavy.Compute(200).DependentCompute(20)
+	heavy.Jump(latch)
+	light.Compute(10)
+	light.Jump(latch)
+	latch.Compute(2)
+	b.LoopBranch(latch, head, exit, trips)
+	exit.Compute(1)
+	exit.Exit()
+	return b.MustFinish()
+}
+
+func collect(t *testing.T) *Profile {
+	t.Helper()
+	m := sim.MustNew(sim.DefaultConfig())
+	pr, err := Collect(m, branchyLoop(500), ir.Input{Name: "in", Seed: 11}, volt.XScale3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestCollectShapes(t *testing.T) {
+	pr := collect(t)
+	if len(pr.TimeUS) != 5 || len(pr.TimeUS[0]) != 3 {
+		t.Fatalf("TimeUS shape %dx%d", len(pr.TimeUS), len(pr.TimeUS[0]))
+	}
+	if len(pr.EdgeCounts) != pr.Graph.NumEdges() {
+		t.Errorf("edge counts size %d != %d", len(pr.EdgeCounts), pr.Graph.NumEdges())
+	}
+	if len(pr.PathCounts) != len(pr.Graph.Paths) {
+		t.Errorf("path counts size %d != %d", len(pr.PathCounts), len(pr.Graph.Paths))
+	}
+}
+
+func TestPerModeMonotonicity(t *testing.T) {
+	pr := collect(t)
+	// Whole-run times decrease with mode index (faster modes), energies
+	// increase.
+	for m := 1; m < pr.Modes.Len(); m++ {
+		if pr.TotalTimeUS[m] >= pr.TotalTimeUS[m-1] {
+			t.Errorf("time not decreasing: mode %d %v >= mode %d %v",
+				m, pr.TotalTimeUS[m], m-1, pr.TotalTimeUS[m-1])
+		}
+		if pr.TotalEnergyUJ[m] <= pr.TotalEnergyUJ[m-1] {
+			t.Errorf("energy not increasing: mode %d %v <= mode %d %v",
+				m, pr.TotalEnergyUJ[m], m-1, pr.TotalEnergyUJ[m-1])
+		}
+	}
+}
+
+func TestBlockAveragesConsistent(t *testing.T) {
+	pr := collect(t)
+	// Per-invocation times × invocations must sum (approximately) to the
+	// whole-run time at each mode.
+	for m := 0; m < pr.Modes.Len(); m++ {
+		sum := 0.0
+		for j := range pr.TimeUS {
+			sum += pr.TimeUS[j][m] * float64(pr.Invocations[j])
+		}
+		if math.Abs(sum-pr.TotalTimeUS[m]) > 1e-6*pr.TotalTimeUS[m] {
+			t.Errorf("mode %d: block sum %v != total %v", m, sum, pr.TotalTimeUS[m])
+		}
+	}
+}
+
+func TestEdgeCountsConsistent(t *testing.T) {
+	pr := collect(t)
+	g := pr.Graph
+	// Entry edge traversed once.
+	if c := pr.EdgeCounts[g.EdgeID(cfg.Edge{From: cfg.Entry, To: 0})]; c != 1 {
+		t.Errorf("entry edge count = %d", c)
+	}
+	// Flow conservation: for every non-exit block, in-count == out-count;
+	// and in-count == invocations.
+	for j := 0; j < g.NumBlocks; j++ {
+		in := int64(0)
+		for _, h := range g.Preds(j) {
+			in += pr.EdgeCounts[g.EdgeID(cfg.Edge{From: h, To: j})]
+		}
+		if in != pr.Invocations[j] {
+			t.Errorf("block %d: in-count %d != invocations %d", j, in, pr.Invocations[j])
+		}
+		out := int64(0)
+		for _, s := range g.Succs(j) {
+			out += pr.EdgeCounts[g.EdgeID(cfg.Edge{From: j, To: s})]
+		}
+		if len(g.Succs(j)) > 0 && out != in {
+			t.Errorf("block %d: out-count %d != in-count %d", j, out, in)
+		}
+	}
+	// Path counts refine edge counts: Σ_h D(h,i,j) = G(i,j).
+	for ei, e := range g.Edges {
+		if e.From == cfg.Entry {
+			continue
+		}
+		sum := int64(0)
+		for pi, p := range g.Paths {
+			if p.Mid == e.From && p.Out == e.To {
+				sum += pr.PathCounts[pi]
+			}
+		}
+		if sum != pr.EdgeCounts[ei] {
+			t.Errorf("edge %v: path sum %d != count %d", e, sum, pr.EdgeCounts[ei])
+		}
+	}
+}
+
+func TestBestSingleMode(t *testing.T) {
+	pr := collect(t)
+	// A deadline just above the slowest run selects mode 0.
+	m0, e0, ok := pr.BestSingleMode(pr.TotalTimeUS[0] * 1.01)
+	if !ok || m0 != 0 || e0 != pr.TotalEnergyUJ[0] {
+		t.Errorf("lax deadline: mode %d ok=%v", m0, ok)
+	}
+	// A deadline between modes 1 and 0 selects mode 1.
+	mid := (pr.TotalTimeUS[0] + pr.TotalTimeUS[1]) / 2
+	m1, _, ok := pr.BestSingleMode(mid)
+	if !ok || m1 != 1 {
+		t.Errorf("mid deadline: mode %d ok=%v", m1, ok)
+	}
+	// An impossible deadline fails.
+	if _, _, ok := pr.BestSingleMode(pr.TotalTimeUS[2] * 0.5); ok {
+		t.Error("impossible deadline accepted")
+	}
+}
+
+func TestEdgeEnergy(t *testing.T) {
+	pr := collect(t)
+	g := pr.Graph
+	for ei := range g.Edges {
+		got := pr.EdgeEnergy(ei, 1)
+		dst := g.Edges[ei].To
+		want := float64(pr.EdgeCounts[ei]) * pr.EnergyUJ[dst][1]
+		if got != want {
+			t.Errorf("edge %d energy = %v, want %v", ei, got, want)
+		}
+	}
+}
+
+func TestCollectRejectsDisconnected(t *testing.T) {
+	b := ir.NewBuilder("dead")
+	x := b.Block("x")
+	dead := b.Block("dead")
+	x.Compute(1)
+	x.Exit()
+	dead.Compute(1)
+	dead.Exit()
+	m := sim.MustNew(sim.DefaultConfig())
+	if _, err := Collect(m, b.MustFinish(), ir.Input{Seed: 1}, volt.XScale3()); err == nil {
+		t.Error("disconnected program accepted")
+	}
+}
+
+func TestParamsPopulated(t *testing.T) {
+	pr := collect(t)
+	if pr.Params.NOverlap == 0 || pr.Params.NDependent == 0 || pr.Params.NCache == 0 {
+		t.Errorf("params not populated: %+v", pr.Params)
+	}
+}

@@ -1,0 +1,78 @@
+package schedfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// TestRoundTripProperty round-trips randomly generated schedules: random
+// mode tables (from the standard sets), random assignments over random edge
+// sets, random regulators — Load(Save(s)) must reproduce s exactly.
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ms *volt.ModeSet
+		switch rng.Intn(4) {
+		case 0:
+			ms = volt.XScale3()
+		case 1:
+			ms, _ = volt.Levels(7)
+		case 2:
+			ms = volt.AMDK6Mobile()
+		default:
+			ms = volt.CrusoeTM5400()
+		}
+		reg := volt.Regulator{
+			C:    1e-7 + rng.Float64()*1e-4,
+			U:    rng.Float64() * 0.99,
+			IMax: 0.1 + rng.Float64()*5,
+		}
+		s := &sim.Schedule{
+			Modes:      ms,
+			Initial:    rng.Intn(ms.Len()),
+			Regulator:  reg,
+			Assignment: map[cfg.Edge]int{},
+		}
+		nblocks := 1 + rng.Intn(20)
+		s.Assignment[cfg.Edge{From: cfg.Entry, To: 0}] = rng.Intn(ms.Len())
+		for i := 0; i < rng.Intn(40); i++ {
+			e := cfg.Edge{From: rng.Intn(nblocks), To: rng.Intn(nblocks)}
+			s.Assignment[e] = rng.Intn(ms.Len())
+		}
+
+		var buf bytes.Buffer
+		if err := Save(&buf, "prog", s); err != nil {
+			return false
+		}
+		name, got, err := Load(&buf)
+		if err != nil || name != "prog" {
+			return false
+		}
+		if got.Initial != s.Initial || got.Modes.Len() != ms.Len() {
+			return false
+		}
+		for i := 0; i < ms.Len(); i++ {
+			if got.Modes.Mode(i) != ms.Mode(i) {
+				return false
+			}
+		}
+		if len(got.Assignment) != len(s.Assignment) {
+			return false
+		}
+		for e, m := range s.Assignment {
+			if got.Assignment[e] != m {
+				return false
+			}
+		}
+		return got.Regulator == s.Regulator
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package schedfile serializes DVS schedules to a JSON interchange format,
+// completing the compile-side toolchain: dvs-opt writes the schedule a
+// compiler back-end would consume, and dvs-sim executes one — the moral
+// equivalent of the paper's "DVS'ed program" artifact (Figure 13).
+package schedfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// Version identifies the current file format.
+const Version = 1
+
+// File is the on-disk schedule representation.
+type File struct {
+	Version int    `json:"version"`
+	Program string `json:"program"`
+	// Modes in ascending frequency order.
+	Modes []ModeJSON `json:"modes"`
+	// Initial is the mode index before the entry edge.
+	Initial   int           `json:"initial"`
+	Regulator RegulatorJSON `json:"regulator"`
+	// Assignments are the per-edge mode-set instructions; the virtual entry
+	// edge uses From = -1.
+	Assignments []AssignmentJSON `json:"assignments"`
+}
+
+// ModeJSON is one (V, f) operating point.
+type ModeJSON struct {
+	Volts float64 `json:"volts"`
+	MHz   float64 `json:"mhz"`
+}
+
+// RegulatorJSON captures the transition-cost model.
+type RegulatorJSON struct {
+	CapacitanceF float64 `json:"capacitance_f"`
+	Efficiency   float64 `json:"efficiency"`
+	IMaxA        float64 `json:"imax_a"`
+}
+
+// AssignmentJSON is one mode-set instruction.
+type AssignmentJSON struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Mode int `json:"mode"`
+}
+
+// Save writes the schedule for the named program.
+func Save(w io.Writer, program string, s *sim.Schedule) error {
+	if s == nil || s.Modes == nil {
+		return fmt.Errorf("schedfile: nil schedule")
+	}
+	f := File{
+		Version: Version,
+		Program: program,
+		Initial: s.Initial,
+		Regulator: RegulatorJSON{
+			CapacitanceF: s.Regulator.C,
+			Efficiency:   s.Regulator.U,
+			IMaxA:        s.Regulator.IMax,
+		},
+	}
+	for _, m := range s.Modes.Modes() {
+		f.Modes = append(f.Modes, ModeJSON{Volts: m.V, MHz: m.F})
+	}
+	for e, mi := range s.Assignment {
+		f.Assignments = append(f.Assignments, AssignmentJSON{From: e.From, To: e.To, Mode: mi})
+	}
+	sort.Slice(f.Assignments, func(a, b int) bool {
+		if f.Assignments[a].From != f.Assignments[b].From {
+			return f.Assignments[a].From < f.Assignments[b].From
+		}
+		return f.Assignments[a].To < f.Assignments[b].To
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load reads a schedule file, validating structure and ranges.
+func Load(r io.Reader) (program string, s *sim.Schedule, err error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return "", nil, fmt.Errorf("schedfile: %w", err)
+	}
+	if f.Version != Version {
+		return "", nil, fmt.Errorf("schedfile: unsupported version %d", f.Version)
+	}
+	modes := make([]volt.Mode, len(f.Modes))
+	for i, m := range f.Modes {
+		modes[i] = volt.Mode{V: m.Volts, F: m.MHz}
+	}
+	ms, err := volt.NewModeSet(modes)
+	if err != nil {
+		return "", nil, fmt.Errorf("schedfile: %w", err)
+	}
+	reg := volt.Regulator{C: f.Regulator.CapacitanceF, U: f.Regulator.Efficiency, IMax: f.Regulator.IMaxA}
+	if err := reg.Validate(); err != nil {
+		return "", nil, fmt.Errorf("schedfile: %w", err)
+	}
+	if f.Initial < 0 || f.Initial >= ms.Len() {
+		return "", nil, fmt.Errorf("schedfile: initial mode %d out of range", f.Initial)
+	}
+	sched := &sim.Schedule{
+		Modes:      ms,
+		Initial:    f.Initial,
+		Regulator:  reg,
+		Assignment: make(map[cfg.Edge]int, len(f.Assignments)),
+	}
+	for _, a := range f.Assignments {
+		if a.Mode < 0 || a.Mode >= ms.Len() {
+			return "", nil, fmt.Errorf("schedfile: edge %d→%d uses mode %d out of range", a.From, a.To, a.Mode)
+		}
+		if a.From < cfg.Entry || a.To < 0 {
+			return "", nil, fmt.Errorf("schedfile: invalid edge %d→%d", a.From, a.To)
+		}
+		e := cfg.Edge{From: a.From, To: a.To}
+		if _, dup := sched.Assignment[e]; dup {
+			return "", nil, fmt.Errorf("schedfile: duplicate assignment for edge %v", e)
+		}
+		sched.Assignment[e] = a.Mode
+	}
+	return f.Program, sched, nil
+}

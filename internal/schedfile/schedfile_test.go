@@ -1,0 +1,105 @@
+package schedfile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+func sample() *sim.Schedule {
+	return &sim.Schedule{
+		Modes:     volt.XScale3(),
+		Initial:   2,
+		Regulator: volt.DefaultRegulator(),
+		Assignment: map[cfg.Edge]int{
+			{From: cfg.Entry, To: 0}: 2,
+			{From: 0, To: 1}:         0,
+			{From: 1, To: 1}:         0,
+			{From: 1, To: 2}:         1,
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, "gsm/encode", sample()); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "gsm/encode" {
+		t.Errorf("program = %q", name)
+	}
+	want := sample()
+	if got.Initial != want.Initial {
+		t.Errorf("initial = %d", got.Initial)
+	}
+	if got.Modes.Len() != want.Modes.Len() {
+		t.Fatalf("modes = %d", got.Modes.Len())
+	}
+	for i := 0; i < want.Modes.Len(); i++ {
+		if got.Modes.Mode(i) != want.Modes.Mode(i) {
+			t.Errorf("mode %d = %v, want %v", i, got.Modes.Mode(i), want.Modes.Mode(i))
+		}
+	}
+	if len(got.Assignment) != len(want.Assignment) {
+		t.Fatalf("assignments = %d", len(got.Assignment))
+	}
+	for e, m := range want.Assignment {
+		if got.Assignment[e] != m {
+			t.Errorf("edge %v = %d, want %d", e, got.Assignment[e], m)
+		}
+	}
+	if math.Abs(got.Regulator.TransitionTime(1.3, 0.7)-12) > 1e-9 {
+		t.Error("regulator lost in round trip")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Save(&a, "p", sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, "p", sample()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serialization not deterministic (map iteration leaked)")
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"garbage", "not json"},
+		{"unknown field", `{"version":1,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":0,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[],"extra":1}`},
+		{"bad version", `{"version":9,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":0,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[]}`},
+		{"no modes", `{"version":1,"program":"p","modes":[],"initial":0,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[]}`},
+		{"bad initial", `{"version":1,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":5,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[]}`},
+		{"bad regulator", `{"version":1,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":0,"regulator":{"capacitance_f":-1,"efficiency":0.9,"imax_a":1},"assignments":[]}`},
+		{"bad mode index", `{"version":1,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":0,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[{"from":0,"to":1,"mode":7}]}`},
+		{"bad edge", `{"version":1,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":0,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[{"from":-2,"to":1,"mode":0}]}`},
+		{"duplicate edge", `{"version":1,"program":"p","modes":[{"volts":1,"mhz":100}],"initial":0,"regulator":{"capacitance_f":1e-5,"efficiency":0.9,"imax_a":1},"assignments":[{"from":0,"to":1,"mode":0},{"from":0,"to":1,"mode":0}]}`},
+	}
+	for _, c := range cases {
+		if _, _, err := Load(strings.NewReader(c.json)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSaveNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, "p", nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}

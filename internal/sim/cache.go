@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sim: "+format, args...)
+}
+
+// cache is a set-associative LRU cache. Tags are stored per set in
+// most-recently-used-first order, so a hit moves its way to the front and a
+// miss evicts the last way.
+type cache struct {
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	tags      []uint64 // sets × assoc, MRU first; 0 means empty (tag 0 offset)
+	valid     []bool
+}
+
+func newCache(cc CacheConfig) *cache {
+	sets := cc.Sets()
+	return &cache{
+		lineShift: uint(bits.TrailingZeros(uint(cc.LineBytes))),
+		setMask:   uint64(sets - 1),
+		assoc:     cc.Assoc,
+		tags:      make([]uint64, sets*cc.Assoc),
+		valid:     make([]bool, sets*cc.Assoc),
+	}
+}
+
+// access looks up addr, updating LRU state and allocating on miss.
+// It reports whether the access hit.
+func (c *cache) access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	ways := c.tags[base : base+c.assoc]
+	valid := c.valid[base : base+c.assoc]
+	for i := 0; i < c.assoc; i++ {
+		if valid[i] && ways[i] == line {
+			// Move to MRU position.
+			for j := i; j > 0; j-- {
+				ways[j] = ways[j-1]
+				valid[j] = valid[j-1]
+			}
+			ways[0] = line
+			valid[0] = true
+			return true
+		}
+	}
+	// Miss: evict LRU (last way), insert at MRU.
+	for j := c.assoc - 1; j > 0; j-- {
+		ways[j] = ways[j-1]
+		valid[j] = valid[j-1]
+	}
+	ways[0] = line
+	valid[0] = true
+	return false
+}
+
+// reset invalidates all lines.
+func (c *cache) reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// predictor is a bimodal branch predictor: a table of 2-bit saturating
+// counters indexed by a hash of the branch's block ID.
+type predictor struct {
+	mask     uint32
+	counters []uint8
+}
+
+func newPredictor(entries int) *predictor {
+	p := &predictor{mask: uint32(entries - 1), counters: make([]uint8, entries)}
+	// Initialize weakly taken, the usual SimpleScalar default.
+	for i := range p.counters {
+		p.counters[i] = 2
+	}
+	return p
+}
+
+func (p *predictor) index(block int) uint32 {
+	return (uint32(block) * 2654435761) & p.mask
+}
+
+// predictAndUpdate returns whether the prediction matched the outcome and
+// trains the counter.
+func (p *predictor) predictAndUpdate(block int, taken bool) bool {
+	i := p.index(block)
+	c := p.counters[i]
+	pred := c >= 2
+	if taken && c < 3 {
+		p.counters[i] = c + 1
+	} else if !taken && c > 0 {
+		p.counters[i] = c - 1
+	}
+	return pred == taken
+}
+
+// reset restores the initial weakly-taken state.
+func (p *predictor) reset() {
+	for i := range p.counters {
+		p.counters[i] = 2
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCache is an obviously-correct LRU model: a slice of lines per set,
+// most recent first.
+type refCache struct {
+	lineShift uint
+	sets      int
+	assoc     int
+	lines     [][]uint64
+}
+
+func newRefCache(cc CacheConfig) *refCache {
+	shift := uint(0)
+	for 1<<shift < cc.LineBytes {
+		shift++
+	}
+	return &refCache{
+		lineShift: shift,
+		sets:      cc.Sets(),
+		assoc:     cc.Assoc,
+		lines:     make([][]uint64, cc.Sets()),
+	}
+}
+
+func (r *refCache) access(addr uint64) bool {
+	line := addr >> r.lineShift
+	set := int(line % uint64(r.sets))
+	ways := r.lines[set]
+	for i, l := range ways {
+		if l == line {
+			// Move to front.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	ways = append([]uint64{line}, ways...)
+	if len(ways) > r.assoc {
+		ways = ways[:r.assoc]
+	}
+	r.lines[set] = ways
+	return false
+}
+
+// TestCacheMatchesReferenceModel drives the production cache and the
+// reference model with identical random access streams (mixing sequential
+// runs and random jumps) and requires hit/miss agreement on every access.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfgs := []CacheConfig{
+		{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 16, LatencyCycles: 1},
+		{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 32, LatencyCycles: 1},
+		{SizeBytes: 64 << 10, Assoc: 4, LineBytes: 32, LatencyCycles: 1},
+		{SizeBytes: 2 << 10, Assoc: 1, LineBytes: 32, LatencyCycles: 1}, // direct-mapped
+	}
+	for _, cc := range cfgs {
+		cc := cc
+		err := quick.Check(func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			prod := newCache(cc)
+			ref := newRefCache(cc)
+			addr := uint64(rng.Intn(1 << 20))
+			for i := 0; i < 3000; i++ {
+				switch rng.Intn(3) {
+				case 0: // sequential run
+					addr += 4
+				case 1: // stride
+					addr += uint64(cc.LineBytes)
+				default: // random jump within a window
+					addr = uint64(rng.Intn(8 * cc.SizeBytes))
+				}
+				if prod.access(addr) != ref.access(addr) {
+					return false
+				}
+			}
+			return true
+		}, &quick.Config{MaxCount: 20})
+		if err != nil {
+			t.Errorf("config %+v: %v", cc, err)
+		}
+	}
+}
+
+// TestCacheResetForgets checks reset() leaves no resident lines.
+func TestCacheResetForgets(t *testing.T) {
+	cc := CacheConfig{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 16, LatencyCycles: 1}
+	c := newCache(cc)
+	for a := uint64(0); a < 1024; a += 4 {
+		c.access(a)
+	}
+	c.reset()
+	for a := uint64(0); a < 1024; a += 16 {
+		if c.access(a) {
+			t.Fatalf("address %#x hit after reset", a)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ctdvs/internal/ir"
+)
+
+// missBurst issues bursts of independent loads that all miss, so memory-level
+// parallelism matters: with one channel the misses serialize; with several
+// they overlap.
+func missBurst(trips int) *ir.Program {
+	b := ir.NewBuilder("miss-burst")
+	s := b.RandomStream(256 << 20)
+	body := b.Block("body")
+	exit := b.Block("exit")
+	body.Load(s).Load(s).Load(s).Load(s).DependentCompute(2)
+	b.LoopBranch(body, body, exit, trips)
+	exit.Compute(1)
+	exit.Exit()
+	return b.MustFinish()
+}
+
+func TestMemChannelsOverlapMisses(t *testing.T) {
+	prog := missBurst(2000)
+	in := ir.Input{Name: "x", Seed: 5}
+
+	one := DefaultConfig()
+	four := DefaultConfig()
+	four.MemChannels = 4
+
+	r1, err := MustNew(one).Run(prog, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := MustNew(four).Run(prog, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MemMisses != r4.MemMisses {
+		t.Fatalf("miss counts differ: %d vs %d", r1.MemMisses, r4.MemMisses)
+	}
+	// Four channels must be substantially faster on four-miss bursts.
+	if r4.TimeUS >= r1.TimeUS*0.6 {
+		t.Errorf("4-channel run (%v µs) not much faster than 1-channel (%v µs)",
+			r4.TimeUS, r1.TimeUS)
+	}
+	// Dynamic energy is identical (same activity); only timing changes.
+	if math.Abs(r4.EnergyUJ-r1.EnergyUJ) > 1e-9 {
+		t.Errorf("energy changed with channels: %v vs %v", r4.EnergyUJ, r1.EnergyUJ)
+	}
+}
+
+func TestMemChannelsSingleMatchesDefault(t *testing.T) {
+	// MemChannels == 1 must be bit-identical to the paper's serialized model.
+	prog := missBurst(500)
+	in := ir.Input{Name: "x", Seed: 9}
+	c := DefaultConfig()
+	if c.MemChannels != 1 {
+		t.Fatalf("default channels = %d", c.MemChannels)
+	}
+	a, err := MustNew(c).Run(prog, in, mode200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MustNew(c).Run(prog, in, mode200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeUS != b.TimeUS {
+		t.Error("nondeterministic")
+	}
+}
+
+func TestLeakageEnergy(t *testing.T) {
+	prog := missBurst(500)
+	in := ir.Input{Name: "x", Seed: 3}
+
+	base := DefaultConfig()
+	leaky := DefaultConfig()
+	leaky.StaticPowerMW = 50 // 50 mW leakage
+
+	r0, err := MustNew(base).Run(prog, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := MustNew(leaky).Run(prog, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.LeakageEnergyUJ != 0 {
+		t.Errorf("default config has leakage %v", r0.LeakageEnergyUJ)
+	}
+	wantLeak := 50 * r1.TimeUS * 1e-3
+	if math.Abs(r1.LeakageEnergyUJ-wantLeak) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", r1.LeakageEnergyUJ, wantLeak)
+	}
+	if math.Abs(r1.EnergyUJ-(r0.EnergyUJ+wantLeak)) > 1e-9 {
+		t.Errorf("total energy %v, want dynamic %v + leakage %v", r1.EnergyUJ, r0.EnergyUJ, wantLeak)
+	}
+	// Timing must be unaffected by leakage.
+	if r1.TimeUS != r0.TimeUS {
+		t.Errorf("leakage changed timing: %v vs %v", r1.TimeUS, r0.TimeUS)
+	}
+}
+
+func TestLeakagePenalizesSlowRuns(t *testing.T) {
+	// The race-to-idle effect: with enough leakage, running slower (longer)
+	// stops being a clear energy win.
+	prog := missBurst(500)
+	in := ir.Input{Name: "x", Seed: 3}
+	leaky := DefaultConfig()
+	leaky.StaticPowerMW = 400
+	m := MustNew(leaky)
+	fast, err := m.Run(prog, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Run(prog, in, mode200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.LeakageEnergyUJ <= fast.LeakageEnergyUJ {
+		t.Errorf("slow run leaks less (%v) than fast (%v)",
+			slow.LeakageEnergyUJ, fast.LeakageEnergyUJ)
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.MemChannels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = DefaultConfig()
+	bad.StaticPowerMW = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative leakage accepted")
+	}
+}

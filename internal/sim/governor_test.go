@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"ctdvs/internal/ir"
+	"ctdvs/internal/volt"
+)
+
+// phased builds a program whose first half is memory-bound and second half
+// compute-bound, with phases long enough for an interval governor to react.
+func phased(trips int) *ir.Program {
+	b := ir.NewBuilder("phased")
+	mem := b.RandomStream(64 << 20)
+	memPhase := b.Block("memory")
+	cpuPhase := b.Block("compute")
+	exit := b.Block("exit")
+	memPhase.Load(mem).Compute(10).DependentCompute(30)
+	b.LoopBranch(memPhase, memPhase, cpuPhase, trips)
+	cpuPhase.Compute(200)
+	b.LoopBranch(cpuPhase, cpuPhase, exit, trips)
+	exit.Compute(1)
+	exit.Exit()
+	return b.MustFinish()
+}
+
+func TestUtilizationGovernorAdapts(t *testing.T) {
+	prog := phased(4000)
+	in := ir.Input{Name: "x", Seed: 11}
+	ms := volt.XScale3()
+	reg := volt.DefaultRegulator()
+	m := MustNew(DefaultConfig())
+
+	gov := &UtilizationGovernor{Modes: ms, Low: 0.6, High: 0.9}
+	res, err := m.RunGoverned(prog, in, ms, reg, ms.Len()-1, 100, gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions == 0 {
+		t.Error("governor never switched on a phased program")
+	}
+
+	fixed, err := m.Run(prog, in, ms.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The governor should save energy versus all-fast by slowing the
+	// memory-bound phase.
+	if res.EnergyUJ >= fixed.EnergyUJ {
+		t.Errorf("governed energy %v not below all-fast %v", res.EnergyUJ, fixed.EnergyUJ)
+	}
+	// And it costs some time (it has no deadline concept).
+	if res.TimeUS < fixed.TimeUS {
+		t.Errorf("governed run faster than all-fast: %v < %v", res.TimeUS, fixed.TimeUS)
+	}
+}
+
+func TestMissRateGovernor(t *testing.T) {
+	prog := phased(4000)
+	in := ir.Input{Name: "x", Seed: 11}
+	ms := volt.XScale3()
+	reg := volt.DefaultRegulator()
+	m := MustNew(DefaultConfig())
+
+	gov := &MissRateGovernor{Modes: ms, LowMissesPerUS: 0.5, HighMissesPerUS: 3}
+	res, err := m.RunGoverned(prog, in, ms, reg, ms.Len()-1, 100, gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions == 0 {
+		t.Error("miss-rate governor never switched")
+	}
+	fixed, err := m.Run(prog, in, ms.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyUJ >= fixed.EnergyUJ {
+		t.Errorf("governed energy %v not below all-fast %v", res.EnergyUJ, fixed.EnergyUJ)
+	}
+}
+
+func TestGovernorControlFlowUnchanged(t *testing.T) {
+	// Run-time DVS must not alter the executed path (paper assumption 1).
+	prog := phased(1000)
+	in := ir.Input{Name: "x", Seed: 4}
+	ms := volt.XScale3()
+	m := MustNew(DefaultConfig())
+	gov := &UtilizationGovernor{Modes: ms, Low: 0.6, High: 0.9}
+	governed, err := m.RunGoverned(prog, in, ms, volt.DefaultRegulator(), 2, 50, gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := m.Run(prog, in, ms.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if governed.MemMisses != fixed.MemMisses || governed.Branches != fixed.Branches {
+		t.Errorf("control flow changed under governor: misses %d/%d branches %d/%d",
+			governed.MemMisses, fixed.MemMisses, governed.Branches, fixed.Branches)
+	}
+	for j := range governed.Blocks {
+		if governed.Blocks[j].Invocations != fixed.Blocks[j].Invocations {
+			t.Errorf("block %d invocations differ", j)
+		}
+	}
+}
+
+func TestRunGovernedValidation(t *testing.T) {
+	prog := phased(10)
+	ms := volt.XScale3()
+	m := MustNew(DefaultConfig())
+	gov := &UtilizationGovernor{Modes: ms, Low: 0.5, High: 0.9}
+	if _, err := m.RunGoverned(prog, ir.Input{}, nil, volt.DefaultRegulator(), 0, 100, gov); err == nil {
+		t.Error("nil modes accepted")
+	}
+	if _, err := m.RunGoverned(prog, ir.Input{}, ms, volt.DefaultRegulator(), 9, 100, gov); err == nil {
+		t.Error("bad initial accepted")
+	}
+	if _, err := m.RunGoverned(prog, ir.Input{}, ms, volt.DefaultRegulator(), 0, 0, gov); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := m.RunGoverned(prog, ir.Input{}, ms, volt.DefaultRegulator(), 0, 100, nil); err == nil {
+		t.Error("nil governor accepted")
+	}
+}
+
+func TestIntervalStatsUtilization(t *testing.T) {
+	s := IntervalStats{WallUS: 100, StallUS: 25}
+	if u := s.Utilization(); u != 0.75 {
+		t.Errorf("utilization = %v", u)
+	}
+	if u := (IntervalStats{}).Utilization(); u != 1 {
+		t.Errorf("empty-window utilization = %v", u)
+	}
+	if u := (IntervalStats{WallUS: 10, StallUS: 20}).Utilization(); u != 0 {
+		t.Errorf("over-stalled utilization = %v", u)
+	}
+}
+
+func TestDeadlineGovernorPacesToDeadline(t *testing.T) {
+	prog := phased(4000)
+	in := ir.Input{Name: "x", Seed: 11}
+	ms := volt.XScale3()
+	reg := volt.DefaultRegulator()
+	m := MustNew(DefaultConfig())
+
+	// Profile the totals at the fastest mode.
+	ref, err := m.Run(prog, in, ms.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ref.Params.NCache + ref.Params.NOverlap + ref.Params.NDependent
+	slow, err := m.Run(prog, in, ms.Min())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := (ref.TimeUS + slow.TimeUS) / 2
+
+	gov := &DeadlineGovernor{Modes: ms, TotalCycles: total, DeadlineUS: deadline, Margin: 1.1}
+	res, err := m.RunGoverned(prog, in, ms, reg, ms.Len()-1, 50, gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeUS > deadline*1.05 {
+		t.Errorf("paced run %v µs misses deadline %v µs", res.TimeUS, deadline)
+	}
+	// Pacing must save energy versus running flat out.
+	if res.EnergyUJ >= ref.EnergyUJ {
+		t.Errorf("paced energy %v not below all-fast %v", res.EnergyUJ, ref.EnergyUJ)
+	}
+}
+
+func TestDeadlineGovernorSprintsWhenLate(t *testing.T) {
+	ms := volt.XScale3()
+	g := &DeadlineGovernor{Modes: ms, TotalCycles: 1 << 30, DeadlineUS: 10}
+	// Consume the whole deadline with little progress: must pick fastest.
+	got := g.Decide(IntervalStats{Mode: 0, WallUS: 20, ActiveCycles: 100})
+	if got != ms.Len()-1 {
+		t.Errorf("late governor picked mode %d", got)
+	}
+	// Finished early: must coast.
+	g2 := &DeadlineGovernor{Modes: ms, TotalCycles: 50, DeadlineUS: 1e6}
+	got = g2.Decide(IntervalStats{Mode: 2, WallUS: 1, ActiveCycles: 100})
+	if got != 0 {
+		t.Errorf("done governor picked mode %d", got)
+	}
+}

@@ -1,0 +1,536 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctdvs/internal/cfg"
+	"ctdvs/internal/ir"
+	"ctdvs/internal/volt"
+)
+
+// BlockStat aggregates one block's activity over a run.
+type BlockStat struct {
+	Invocations int64
+	TimeUS      float64 // wall time attributed to the block (stalls included)
+	EnergyUJ    float64 // active energy (gated stall cycles consume nothing)
+}
+
+// Params are the aggregate program parameters of the paper's analytic model
+// (Section 3.2 / Table 7), as measured by a profiling run.
+type Params struct {
+	NCache       int64   // cycles of cache-hit memory operations (L1 + L2 hits)
+	NOverlap     int64   // computation cycles that may overlap memory
+	NDependent   int64   // computation cycles dependent on memory
+	TInvariantUS float64 // absolute main-memory service time (cache misses)
+}
+
+// Result is the outcome of simulating one program on one input.
+type Result struct {
+	Program string
+	Input   string
+	Mode    volt.Mode // the (single or initial) mode of the run
+
+	TimeUS   float64
+	EnergyUJ float64
+
+	Blocks     []BlockStat
+	EdgeCounts map[cfg.Edge]int64
+	PathCounts map[cfg.Path]int64
+	Params     Params
+
+	L1Hits, L2Hits, MemMisses int64
+	Branches, Mispredicts     int64
+
+	// LeakageEnergyUJ is the static-power energy over the whole run
+	// (zero under the paper's assumptions); it is included in EnergyUJ but
+	// not in per-block stats.
+	LeakageEnergyUJ float64
+
+	// DVS accounting (zero for fixed-mode runs).
+	Transitions        int64
+	TransitionTimeUS   float64
+	TransitionEnergyUJ float64
+}
+
+// Schedule assigns a DVS mode to each control-flow edge, the paper's
+// compile-time mode-set instruction placement. Edges absent from Assignment
+// keep the current mode (no mode-set instruction on that edge).
+type Schedule struct {
+	Modes *volt.ModeSet
+	// Assignment maps an edge to the index (into Modes) it sets. The virtual
+	// entry edge (cfg.Entry → 0) may also carry an assignment.
+	Assignment map[cfg.Edge]int
+	// Initial is the mode index the machine is in before the entry edge.
+	Initial int
+	// Regulator prices mode transitions.
+	Regulator volt.Regulator
+}
+
+// Machine simulates ir programs under a fixed configuration. A Machine may
+// be reused across runs; each run resets microarchitectural state.
+type Machine struct {
+	cfg  Config
+	l1   *cache
+	l2   *cache
+	pred *predictor
+
+	// EdgeHook, when non-nil, is invoked on every control-flow edge
+	// traversal (including the virtual entry edge, with from == cfg.Entry)
+	// before the destination block executes. It exists for tracing tools —
+	// notably the Ball–Larus path profiler in package paths — and must not
+	// retain the arguments beyond the call.
+	EdgeHook func(from, to int)
+}
+
+// New builds a machine, validating the configuration.
+func New(c Config) (*Machine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:  c,
+		l1:   newCache(c.L1),
+		l2:   newCache(c.L2),
+		pred: newPredictor(c.PredictorEntries),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(c Config) *Machine {
+	m, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Run simulates the program on the given input entirely at one DVS mode.
+func (m *Machine) Run(p *ir.Program, in ir.Input, mode volt.Mode) (*Result, error) {
+	return m.run(p, in, nil, nil, mode)
+}
+
+// govRun carries the run-time governor configuration through a run.
+type govRun struct {
+	modes      *volt.ModeSet
+	reg        volt.Regulator
+	intervalUS float64
+	g          Governor
+}
+
+func (m *Machine) runGoverned(p *ir.Program, in ir.Input, modes *volt.ModeSet,
+	reg volt.Regulator, initial int, intervalUS float64, g Governor) (*Result, error) {
+	gr := &govRun{modes: modes, reg: reg, intervalUS: intervalUS, g: g}
+	res, err := m.run(p, in, nil, gr, modes.Mode(initial))
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunDVS simulates the program under a DVS schedule, charging regulator
+// time/energy at every dynamic mode change.
+func (m *Machine) RunDVS(p *ir.Program, in ir.Input, sched *Schedule) (*Result, error) {
+	if sched == nil || sched.Modes == nil {
+		return nil, errf("nil schedule")
+	}
+	if sched.Initial < 0 || sched.Initial >= sched.Modes.Len() {
+		return nil, errf("initial mode %d out of range", sched.Initial)
+	}
+	for e, mi := range sched.Assignment {
+		if mi < 0 || mi >= sched.Modes.Len() {
+			return nil, errf("edge %v assigned invalid mode %d", e, mi)
+		}
+	}
+	return m.run(p, in, sched, nil, sched.Modes.Mode(sched.Initial))
+}
+
+// blockInfo is the precomputed per-block structure used by the interpreter.
+type blockInfo struct {
+	preds   []int // predecessor block IDs; cfg.Entry included for block 0
+	succs   []int // deduplicated successor block IDs, in terminator order
+	predIdx map[int]int
+	succIdx map[int]int
+	// dvsMode[s] is the mode set by edge (this block → succs[s]); -1 keeps
+	// the current mode.
+	dvsMode []int
+}
+
+func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, initial volt.Mode) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m.l1.reset()
+	m.l2.reset()
+	m.pred.reset()
+
+	info, maxCond := buildBlockInfo(p, sched)
+	res := &Result{
+		Program: p.Name,
+		Input:   in.Name,
+		Mode:    initial,
+		Blocks:  make([]BlockStat, len(p.Blocks)),
+	}
+
+	// Dense counters, converted to maps at the end.
+	gcount := make([][]int64, len(p.Blocks))
+	dcount := make([][][]int64, len(p.Blocks))
+	for i, bi := range info {
+		gcount[i] = make([]int64, len(bi.succs))
+		dcount[i] = make([][]int64, len(bi.preds))
+		for h := range bi.preds {
+			dcount[i][h] = make([]int64, len(bi.succs))
+		}
+	}
+	entryCount := int64(0) // traversals of the virtual entry edge
+
+	rng := rand.New(rand.NewSource(in.Seed))
+	loopCount := make([]int, maxCond+1)
+	streamOff := make([]int64, len(p.Streams))
+
+	// Machine state. Memory channels track when each concurrent miss slot
+	// frees; the paper's model is MemChannels == 1 (fully serialized).
+	memChans := make([]float64, m.cfg.MemChannels)
+	memDrained := func() float64 {
+		worst := 0.0
+		for _, t := range memChans {
+			if t > worst {
+				worst = t
+			}
+		}
+		return worst
+	}
+	var (
+		timeUS     float64
+		energyUJ   float64
+		stallUS    float64
+		curMode    = initial
+		curModeIdx = -1
+	)
+	if sched != nil {
+		curModeIdx = sched.Initial
+	}
+	if gov != nil {
+		curModeIdx = gov.modes.Index(initial.F)
+	}
+	ePerComputeCycle := func() float64 { return m.cfg.CeffComputeNF * curMode.V * curMode.V * 1e-3 }
+
+	switchTo := func(table *volt.ModeSet, reg volt.Regulator, target int) {
+		if target < 0 || target == curModeIdx {
+			return
+		}
+		next := table.Mode(target)
+		res.Transitions++
+		st := reg.TransitionTime(curMode.V, next.V)
+		se := reg.TransitionEnergy(curMode.V, next.V)
+		timeUS += st
+		energyUJ += se
+		res.TransitionTimeUS += st
+		res.TransitionEnergyUJ += se
+		curMode = next
+		curModeIdx = target
+	}
+	setMode := func(target int) {
+		if sched == nil {
+			return
+		}
+		switchTo(sched.Modes, sched.Regulator, target)
+	}
+
+	// Governor window state.
+	var (
+		nextCheckUS float64
+		winStartUS  float64
+		winStallUS  float64
+		winCycles   int64
+		winMisses   int64
+		totalCycles = func() int64 { return res.Params.NCache + res.Params.NOverlap + res.Params.NDependent }
+	)
+	if gov != nil {
+		nextCheckUS = gov.intervalUS
+	}
+
+	// Traverse the virtual entry edge.
+	entryCount++
+	if m.EdgeHook != nil {
+		m.EdgeHook(cfg.Entry, 0)
+	}
+	if sched != nil {
+		if mi, ok := sched.Assignment[cfg.Edge{From: cfg.Entry, To: 0}]; ok {
+			setMode(mi)
+		}
+	}
+
+	cur := 0
+	predIdx := 0 // index of cfg.Entry in block 0's preds
+	const maxSteps = 1 << 34
+	steps := 0
+
+	for {
+		steps++
+		if steps > maxSteps {
+			return nil, errf("program %q exceeded %d block executions; infinite loop?", p.Name, maxSteps)
+		}
+		bi := &info[cur]
+		blk := p.Blocks[cur]
+		bs := &res.Blocks[cur]
+		bs.Invocations++
+		blockStartTime := timeUS
+		blockStartEnergy := energyUJ
+
+		f := curMode.F
+		for _, instr := range blk.Instrs {
+			switch v := instr.(type) {
+			case ir.Compute:
+				if v.DependsOnLoad {
+					if drained := memDrained(); drained > timeUS {
+						// Gated stall waiting for memory: time passes, no
+						// energy.
+						stallUS += drained - timeUS
+						timeUS = drained
+					}
+				}
+				c := int64(v.Cycles)
+				timeUS += float64(c) / f
+				energyUJ += float64(c) * ePerComputeCycle()
+				if v.DependsOnLoad {
+					res.Params.NDependent += c
+				} else {
+					res.Params.NOverlap += c
+				}
+			case ir.Load:
+				timeUS, energyUJ = m.memAccess(p, v.Stream, streamOff, rng, timeUS, energyUJ, memChans, curMode, res)
+			case ir.Store:
+				timeUS, energyUJ = m.memAccess(p, v.Stream, streamOff, rng, timeUS, energyUJ, memChans, curMode, res)
+			}
+		}
+
+		// Resolve the terminator.
+		var next int
+		switch t := blk.Term.(type) {
+		case ir.Exit:
+			// Drain outstanding memory and close out the block.
+			if drained := memDrained(); drained > timeUS {
+				stallUS += drained - timeUS
+				timeUS = drained
+			}
+			bs.TimeUS += timeUS - blockStartTime
+			bs.EnergyUJ += energyUJ - blockStartEnergy
+			res.TimeUS = timeUS
+			res.LeakageEnergyUJ = m.cfg.StaticPowerMW * timeUS * 1e-3
+			res.EnergyUJ = energyUJ + res.LeakageEnergyUJ
+			res.EdgeCounts, res.PathCounts = toMaps(info, gcount, dcount, entryCount)
+			return res, nil
+		case ir.Jump:
+			next = t.To
+		case ir.Branch:
+			var taken bool
+			switch c := t.Cond.(type) {
+			case ir.LoopCond:
+				trip := in.TripFor(c)
+				loopCount[c.ID]++
+				if loopCount[c.ID] < trip {
+					taken = true
+				} else {
+					loopCount[c.ID] = 0
+				}
+			case ir.ProbCond:
+				taken = rng.Float64() < in.ProbFor(c)
+			}
+			res.Branches++
+			if !m.pred.predictAndUpdate(cur, taken) {
+				res.Mispredicts++
+				pen := int64(m.cfg.MispredictPenaltyCycles)
+				timeUS += float64(pen) / f
+				energyUJ += float64(pen) * ePerComputeCycle()
+				res.Params.NOverlap += pen
+			}
+			if taken {
+				next = t.Taken
+			} else {
+				next = t.Fall
+			}
+		}
+
+		bs.TimeUS += timeUS - blockStartTime
+		bs.EnergyUJ += energyUJ - blockStartEnergy
+
+		si := bi.succIdx[next]
+		gcount[cur][si]++
+		dcount[cur][predIdx][si]++
+		if m.EdgeHook != nil {
+			m.EdgeHook(cur, next)
+		}
+		setMode(bi.dvsMode[si])
+
+		// Run-time governor tick: at interval boundaries, summarize the
+		// window and let the policy pick the next mode.
+		if gov != nil && timeUS >= nextCheckUS {
+			stats := IntervalStats{
+				Mode:         curModeIdx,
+				WallUS:       timeUS - winStartUS,
+				ActiveCycles: totalCycles() - winCycles,
+				StallUS:      stallUS - winStallUS,
+				Misses:       res.MemMisses - winMisses,
+			}
+			want := gov.g.Decide(stats)
+			if want >= 0 && want < gov.modes.Len() {
+				switchTo(gov.modes, gov.reg, want)
+			}
+			winStartUS = timeUS
+			winStallUS = stallUS
+			winCycles = totalCycles()
+			winMisses = res.MemMisses
+			nextCheckUS = timeUS + gov.intervalUS
+		}
+
+		predIdx = info[next].predIdx[cur]
+		cur = next
+	}
+}
+
+// memAccess performs one load/store: L1, then L2, then main memory. Cache
+// hits occupy the pipeline for their latency (frequency-scaled, energy
+// charged); main-memory misses occupy the earliest-free asynchronous memory
+// channel without blocking the CPU.
+func (m *Machine) memAccess(p *ir.Program, stream int, streamOff []int64, rng *rand.Rand,
+	timeUS, energyUJ float64, memChans []float64, mode volt.Mode, res *Result) (float64, float64) {
+
+	s := &p.Streams[stream]
+	var off int64
+	if s.Random {
+		off = rng.Int63n(s.WorkingSet) &^ 3 // word-aligned
+	} else {
+		off = streamOff[stream]
+		streamOff[stream] = (off + s.Stride) % s.WorkingSet
+	}
+	addr := s.Base + uint64(off)
+
+	v2 := mode.V * mode.V
+	// L1 lookup always happens.
+	l1Cycles := int64(m.cfg.L1.LatencyCycles)
+	timeUS += float64(l1Cycles) / mode.F
+	energyUJ += m.cfg.CeffL1NF * v2 * 1e-3
+	if m.l1.access(addr) {
+		res.L1Hits++
+		res.Params.NCache += l1Cycles
+		return timeUS, energyUJ
+	}
+	// L2 lookup.
+	l2Cycles := int64(m.cfg.L2.LatencyCycles)
+	timeUS += float64(l2Cycles) / mode.F
+	energyUJ += m.cfg.CeffL2NF * v2 * 1e-3 * float64(l2Cycles)
+	if m.l2.access(addr) {
+		res.L2Hits++
+		res.Params.NCache += l1Cycles + l2Cycles
+		return timeUS, energyUJ
+	}
+	// Main memory: asynchronous, non-blocking for the CPU (dependent
+	// computation waits for the channels to drain). The miss takes the
+	// earliest-free channel.
+	res.MemMisses++
+	res.Params.NCache += l1Cycles + l2Cycles
+	ch := 0
+	for k := 1; k < len(memChans); k++ {
+		if memChans[k] < memChans[ch] {
+			ch = k
+		}
+	}
+	start := timeUS
+	if memChans[ch] > start {
+		start = memChans[ch]
+	}
+	memChans[ch] = start + m.cfg.MemLatencyUS
+	res.Params.TInvariantUS += m.cfg.MemLatencyUS
+	return timeUS, energyUJ
+}
+
+// buildBlockInfo precomputes predecessor/successor indexing and per-edge DVS
+// mode assignments. It also returns the largest condition ID in use.
+func buildBlockInfo(p *ir.Program, sched *Schedule) ([]blockInfo, int) {
+	n := len(p.Blocks)
+	info := make([]blockInfo, n)
+	for i := range info {
+		info[i].predIdx = make(map[int]int)
+		info[i].succIdx = make(map[int]int)
+	}
+	addPred := func(b, pred int) {
+		bi := &info[b]
+		if _, ok := bi.predIdx[pred]; ok {
+			return
+		}
+		bi.predIdx[pred] = len(bi.preds)
+		bi.preds = append(bi.preds, pred)
+	}
+	addPred(0, cfg.Entry)
+	maxCond := 0
+	for _, b := range p.Blocks {
+		bi := &info[b.ID]
+		for _, t := range b.Term.Targets() {
+			if _, ok := bi.succIdx[t]; ok {
+				continue
+			}
+			bi.succIdx[t] = len(bi.succs)
+			bi.succs = append(bi.succs, t)
+			addPred(t, b.ID)
+		}
+		if br, ok := b.Term.(ir.Branch); ok {
+			switch c := br.Cond.(type) {
+			case ir.LoopCond:
+				if c.ID > maxCond {
+					maxCond = c.ID
+				}
+			case ir.ProbCond:
+				if c.ID > maxCond {
+					maxCond = c.ID
+				}
+			}
+		}
+	}
+	for i := range info {
+		bi := &info[i]
+		bi.dvsMode = make([]int, len(bi.succs))
+		for s, to := range bi.succs {
+			bi.dvsMode[s] = -1
+			if sched != nil {
+				if mi, ok := sched.Assignment[cfg.Edge{From: i, To: to}]; ok {
+					bi.dvsMode[s] = mi
+				}
+			}
+		}
+	}
+	return info, maxCond
+}
+
+// toMaps converts the dense traversal counters into the edge/path maps of
+// the Result.
+func toMaps(info []blockInfo, gcount [][]int64, dcount [][][]int64, entryCount int64) (map[cfg.Edge]int64, map[cfg.Path]int64) {
+	edges := make(map[cfg.Edge]int64)
+	paths := make(map[cfg.Path]int64)
+	edges[cfg.Edge{From: cfg.Entry, To: 0}] = entryCount
+	for i := range info {
+		bi := &info[i]
+		for s, to := range bi.succs {
+			if gcount[i][s] > 0 {
+				edges[cfg.Edge{From: i, To: to}] = gcount[i][s]
+			}
+		}
+		for h, pred := range bi.preds {
+			for s, to := range bi.succs {
+				if dcount[i][h][s] > 0 {
+					paths[cfg.Path{In: pred, Mid: i, Out: to}] = dcount[i][h][s]
+				}
+			}
+		}
+	}
+	return edges, paths
+}
+
+// FormatParams renders Params in the units of the paper's Table 7.
+func FormatParams(p Params) string {
+	return fmt.Sprintf("Ncache=%.1fK cycles, Noverlap=%.1fK cycles, Ndependent=%.1fK cycles, tinvariant=%.1fµs",
+		float64(p.NCache)/1e3, float64(p.NOverlap)/1e3, float64(p.NDependent)/1e3, p.TInvariantUS)
+}

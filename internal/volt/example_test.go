@@ -1,0 +1,33 @@
+package volt_test
+
+import (
+	"fmt"
+
+	"ctdvs/internal/volt"
+)
+
+func ExampleScaling_Freq() {
+	sc := volt.DefaultScaling()
+	fmt.Printf("f(1.65V) = %.0f MHz\n", sc.Freq(1.65))
+	fmt.Printf("f(1.30V) = %.0f MHz\n", sc.Freq(1.30))
+	// Output:
+	// f(1.65V) = 800 MHz
+	// f(1.30V) = 605 MHz
+}
+
+func ExampleRegulator() {
+	reg := volt.DefaultRegulator()
+	// The paper's calibration point: a 600 MHz/1.3 V → 200 MHz/0.7 V switch.
+	fmt.Printf("ST = %.0f µs, SE = %.1f µJ\n",
+		reg.TransitionTime(1.3, 0.7), reg.TransitionEnergy(1.3, 0.7))
+	// Output:
+	// ST = 12 µs, SE = 1.2 µJ
+}
+
+func ExampleModeSet_Neighbors() {
+	ms := volt.XScale3()
+	lo, hi := ms.Neighbors(450)
+	fmt.Printf("450 MHz sits between %v and %v\n", ms.Mode(lo), ms.Mode(hi))
+	// Output:
+	// 450 MHz sits between 200MHz@0.70V and 600MHz@1.30V
+}

@@ -1,0 +1,43 @@
+package volt
+
+// Mode tables for the software-controlled DVS processors the paper names as
+// deployment targets (Section 1: "Intel XScale, StrongArm SA-2 and AMD
+// mobile K6 Plus"). XScale3 (volt.go) is the paper's evaluation set; the
+// tables below let users study how the optimization behaves on other
+// contemporary parts' operating points.
+
+// AMDK6Mobile returns an AMD Mobile K6-2+ (PowerNow!)-style table: seven
+// operating points from 200 MHz at 1.4 V to 550 MHz at 2.0 V.
+func AMDK6Mobile() *ModeSet {
+	return MustModeSet([]Mode{
+		{V: 1.4, F: 200},
+		{V: 1.5, F: 300},
+		{V: 1.6, F: 350},
+		{V: 1.7, F: 400},
+		{V: 1.8, F: 450},
+		{V: 1.9, F: 500},
+		{V: 2.0, F: 550},
+	})
+}
+
+// CrusoeTM5400 returns a Transmeta Crusoe TM5400 (LongRun)-style table: six
+// operating points from 200 MHz at 1.10 V to 700 MHz at 1.65 V.
+func CrusoeTM5400() *ModeSet {
+	return MustModeSet([]Mode{
+		{V: 1.10, F: 200},
+		{V: 1.23, F: 300},
+		{V: 1.35, F: 400},
+		{V: 1.48, F: 500},
+		{V: 1.60, F: 600},
+		{V: 1.65, F: 700},
+	})
+}
+
+// StrongARM1100 returns a StrongARM SA-1100-style two-point table (the
+// simplest DVS-capable part: a core-clock divider with a voltage step).
+func StrongARM1100() *ModeSet {
+	return MustModeSet([]Mode{
+		{V: 1.23, F: 133},
+		{V: 1.50, F: 206},
+	})
+}

@@ -1,0 +1,33 @@
+package volt
+
+import "testing"
+
+func TestProcessorTables(t *testing.T) {
+	cases := []struct {
+		name   string
+		ms     *ModeSet
+		levels int
+		minF   float64
+		maxF   float64
+	}{
+		{"AMD K6 Mobile", AMDK6Mobile(), 7, 200, 550},
+		{"Crusoe TM5400", CrusoeTM5400(), 6, 200, 700},
+		{"StrongARM 1100", StrongARM1100(), 2, 133, 206},
+	}
+	for _, c := range cases {
+		if c.ms.Len() != c.levels {
+			t.Errorf("%s: levels = %d, want %d", c.name, c.ms.Len(), c.levels)
+		}
+		if c.ms.Min().F != c.minF || c.ms.Max().F != c.maxF {
+			t.Errorf("%s: range [%v, %v], want [%v, %v]",
+				c.name, c.ms.Min().F, c.ms.Max().F, c.minF, c.maxF)
+		}
+		// Invariants enforced by MustModeSet: strictly increasing voltage
+		// with frequency.
+		for i := 1; i < c.ms.Len(); i++ {
+			if c.ms.Mode(i).V <= c.ms.Mode(i-1).V {
+				t.Errorf("%s: voltage not increasing at %d", c.name, i)
+			}
+		}
+	}
+}

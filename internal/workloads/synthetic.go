@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctdvs/internal/ir"
+)
+
+// SyntheticConfig controls the random large-CFG generator used by the
+// solver-scaling experiments. Real MediaBench binaries have control-flow
+// graphs with thousands of edges; the six calibrated benchmarks above model
+// their profile statistics but keep small graphs, so this generator provides
+// the dimension the paper's "hours to seconds" filtering claim (Figure 14)
+// actually stresses: MILP size.
+type SyntheticConfig struct {
+	// Regions is the number of sequential loop regions (phases).
+	Regions int
+	// BlocksPerRegion is the number of diamond-shaped conditionals chained
+	// inside each region's loop body.
+	BlocksPerRegion int
+	// TripsPerRegion is each region loop's trip count.
+	TripsPerRegion int
+	// Seed drives the random block weights and branch probabilities.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c SyntheticConfig) Validate() error {
+	if c.Regions < 1 || c.BlocksPerRegion < 1 || c.TripsPerRegion < 2 {
+		return fmt.Errorf("workloads: invalid synthetic config %+v", c)
+	}
+	return nil
+}
+
+// Synthetic builds a random phase-structured program: Regions sequential
+// loops, each of whose bodies is a chain of BlocksPerRegion conditional
+// diamonds with randomized compute/memory mixes. Roughly half the regions
+// are memory-bound (streamed misses with dependent tails) and half
+// compute-bound, so the DVS optimizer has real mode-mixing opportunities at
+// mid-range deadlines, and the number of control-flow edges grows linearly
+// with Regions × BlocksPerRegion.
+func Synthetic(c SyntheticConfig) (*Spec, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	b := ir.NewBuilder(fmt.Sprintf("synthetic-r%d-b%d", c.Regions, c.BlocksPerRegion))
+	hot := b.StridedStream(4, 128<<10)
+	cold := b.StridedStream(lineSize, coldWS)
+
+	entry := b.Block("entry")
+	entry.Compute(100)
+
+	prev := entry
+	for r := 0; r < c.Regions; r++ {
+		memBound := r%2 == 0
+		head := b.Block(fmt.Sprintf("r%d-head", r))
+		prev.Jump(head)
+
+		// Loop body: a chain of diamonds. Like real programs, the energy
+		// distribution is heavy-tailed: a few hot diamonds carry most of
+		// the work, so the 2 %-tail filtering has the traction it has on
+		// MediaBench CFGs (the paper's Figure 14 premise).
+		cur := head
+		if memBound {
+			cur.Load(cold)
+			cur.Compute(20 + rng.Intn(30)).DependentCompute(30 + rng.Intn(40))
+		} else {
+			cur.Compute(150 + rng.Intn(200))
+		}
+		for d := 0; d < c.BlocksPerRegion; d++ {
+			left := b.Block(fmt.Sprintf("r%d-d%d-a", r, d))
+			right := b.Block(fmt.Sprintf("r%d-d%d-b", r, d))
+			join := b.Block(fmt.Sprintf("r%d-d%d-join", r, d))
+			p := 0.15 + 0.7*rng.Float64()
+			b.ProbBranch(cur, left, right, p)
+			weight := 1
+			if rng.Float64() < 0.15 {
+				weight = 20 // hot diamond
+			}
+			if memBound {
+				left.Load(cold).DependentCompute(weight * (20 + rng.Intn(60)))
+				right.Compute(weight * (10 + rng.Intn(30)))
+				for h := 0; h < weight*(2+rng.Intn(4)); h++ {
+					right.Load(hot)
+				}
+			} else {
+				left.Compute(weight * (100 + rng.Intn(250)))
+				right.Compute(weight * (80 + rng.Intn(200)))
+				for h := 0; h < weight*rng.Intn(3); h++ {
+					left.Load(hot)
+				}
+			}
+			left.Jump(join)
+			right.Jump(join)
+			join.Compute(5 + rng.Intn(10))
+			cur = join
+		}
+		latch := b.Block(fmt.Sprintf("r%d-latch", r))
+		cur.Jump(latch)
+		latch.Compute(10)
+		exitStub := b.Block(fmt.Sprintf("r%d-exit", r))
+		b.LoopBranch(latch, head, exitStub, c.TripsPerRegion)
+		exitStub.Compute(20)
+		prev = exitStub
+	}
+	done := b.Block("done")
+	prev.Jump(done)
+	done.Compute(50)
+	done.Exit()
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:          prog.Name,
+		Program:       prog,
+		Inputs:        []ir.Input{{Name: "synthetic", Seed: c.Seed + 1}},
+		DeadlineFracs: [5]float64{0.02, 0.08, 0.15, 0.50, 0.98},
+	}, nil
+}
