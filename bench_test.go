@@ -10,6 +10,10 @@
 package ctdvs
 
 import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -441,6 +445,123 @@ func BenchmarkPlacementStats(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(silent), "silent-mode-sets")
+}
+
+// --- parallel solver benchmarks ---
+//
+// BenchmarkMILPSerial and BenchmarkMILPParallel solve the same unfiltered
+// (FilterTail < 0) mpeg/decode MILP with one worker and with max(4,
+// GOMAXPROCS) workers; the parallel run also measures a serial baseline
+// inline, checks the objectives agree, and writes the speedup record to
+// BENCH_milp.json. The speedup is real only with GOMAXPROCS ≥ 4 — on fewer
+// cores the deterministic batch design degenerates to near-serial cost and
+// the record reports that honestly.
+
+// milpBenchRecord is the schema of BENCH_milp.json.
+type milpBenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	SerialNsOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsOp float64 `json:"parallel_ns_per_op"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	ObjectiveUJ  float64 `json:"objective_uj"`
+	Nodes        int     `json:"bb_nodes"`
+}
+
+// milpBenchProfile collects the mpeg/decode profile and mid-range deadline
+// shared by the MILP solver benchmarks.
+func milpBenchProfile(b *testing.B) (*profile.Profile, float64) {
+	b.Helper()
+	m := sim.MustNew(sim.DefaultConfig())
+	spec := workloads.MpegDecode(benchScale)
+	pr, err := profile.Collect(m, spec.Program, spec.Inputs[0], volt.XScale3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := pr.Modes.Len()
+	return pr, (pr.TotalTimeUS[n-1] + pr.TotalTimeUS[0]) / 2
+}
+
+// solveMpegUnfiltered runs the full-edge-set optimization at the given
+// branch-and-bound worker count.
+func solveMpegUnfiltered(b *testing.B, pr *profile.Profile, dl float64, workers int) *core.Result {
+	b.Helper()
+	res, err := core.OptimizeSingle(pr, dl, &core.Options{
+		FilterTail: -1,
+		MILP:       &milp.Options{TimeLimit: 2 * time.Minute, Workers: workers},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkMILPSerial(b *testing.B) {
+	pr, dl := milpBenchProfile(b)
+	b.ResetTimer()
+	var nodes float64
+	for i := 0; i < b.N; i++ {
+		nodes = float64(solveMpegUnfiltered(b, pr, dl, 1).Solver.Nodes)
+	}
+	b.ReportMetric(nodes, "bb-nodes")
+}
+
+func BenchmarkMILPParallel(b *testing.B) {
+	pr, dl := milpBenchProfile(b)
+	workers := 4
+	if n := runtime.GOMAXPROCS(0); n > workers {
+		workers = n
+	}
+
+	serialStart := time.Now()
+	serial := solveMpegUnfiltered(b, pr, dl, 1)
+	serialNs := float64(time.Since(serialStart).Nanoseconds())
+
+	b.ResetTimer()
+	var par *core.Result
+	for i := 0; i < b.N; i++ {
+		par = solveMpegUnfiltered(b, pr, dl, workers)
+	}
+	b.StopTimer()
+
+	if d := math.Abs(serial.PredictedEnergyUJ - par.PredictedEnergyUJ); d > 1e-9 {
+		b.Fatalf("objective diverged: serial %v vs parallel %v (Δ=%g)",
+			serial.PredictedEnergyUJ, par.PredictedEnergyUJ, d)
+	}
+	parNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	rec := milpBenchRecord{
+		Benchmark:    "mpeg/decode",
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		SerialNsOp:   serialNs,
+		ParallelNsOp: parNs,
+		Speedup:      serialNs / parNs,
+		ObjectiveUJ:  par.PredictedEnergyUJ,
+		Nodes:        par.Solver.Nodes,
+	}
+	b.ReportMetric(rec.Speedup, "speedup-vs-serial")
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_milp.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExpPipeline runs the deadline-sweep pipeline (profile collection,
+// 6×5 optimize+measure cells) end to end on a fresh config with the full
+// experiment fan-out, the workload cmd/dvs-bench -workers parallelizes.
+func BenchmarkExpPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := exp.NewConfig(benchScale)
+		c.MILP = &milp.Options{TimeLimit: 2 * time.Minute}
+		c.Workers = 0 // GOMAXPROCS-wide fan-out
+		if _, err := exp.DeadlineSweep(c); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkPathProfiling(b *testing.B) {

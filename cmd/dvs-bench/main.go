@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dvs-bench [-scale 1.0] [-exp all|table1,table6,fig15,...] [-grid 16]
+//	dvs-bench [-scale 1.0] [-exp all|table1,table6,fig15,...] [-grid 16] [-workers N]
 //
 // Run with -list for the experiment catalogue: the paper's tables 1/3/4/5/
 // 6/7 and figures 2-11/14/15/17/18/19, this reproduction's extensions
@@ -30,6 +30,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	solveLimit := flag.Duration("solve-limit", 2*time.Minute, "time limit per MILP solve")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +45,7 @@ func main() {
 
 	cfg := exp.NewConfig(*scale)
 	cfg.MILP = &milp.Options{TimeLimit: *solveLimit}
+	cfg.Workers = *workers
 
 	selected := map[string]bool{}
 	all := *expList == "all"

@@ -37,6 +37,7 @@ func main() {
 	noTrans := flag.Bool("no-transition-costs", false, "Saputra-style: ignore switching costs in the MILP")
 	blockBased := flag.Bool("block-based", false, "block-granularity mode variables")
 	solveLimit := flag.Duration("solve-limit", 2*time.Minute, "MILP time limit")
+	workers := flag.Int("workers", 0, "branch-and-bound workers (0 = GOMAXPROCS, 1 = serial)")
 	showSchedule := flag.Bool("schedule", false, "print the per-edge mode assignment")
 	showPlacement := flag.Bool("placement", false, "classify mode-set instructions (required/silent/hoistable)")
 	savePath := flag.String("save", "", "write the schedule to this file (dvs-sim executes it)")
@@ -84,7 +85,7 @@ func main() {
 		Regulator:         reg,
 		NoTransitionCosts: *noTrans,
 		BlockBased:        *blockBased,
-		MILP:              &milp.Options{TimeLimit: *solveLimit},
+		MILP:              &milp.Options{TimeLimit: *solveLimit, Workers: *workers},
 	}
 	if *noFilter {
 		opts.FilterTail = -1

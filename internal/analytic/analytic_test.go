@@ -45,6 +45,7 @@ func memSlack() Params {
 }
 
 func TestValidate(t *testing.T) {
+	t.Parallel()
 	if err := (Params{NOverlap: -1, DeadlineUS: 1}).Validate(); err == nil {
 		t.Error("negative parameter accepted")
 	}
@@ -57,6 +58,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestDerivedQuantities(t *testing.T) {
+	t.Parallel()
 	p := memDominated()
 	if got := p.R1(); got != 4e6 {
 		t.Errorf("R1 = %v", got)
@@ -78,6 +80,7 @@ func TestDerivedQuantities(t *testing.T) {
 }
 
 func TestBaselineContinuousMeetsDeadlineExactly(t *testing.T) {
+	t.Parallel()
 	vr := DefaultVRange()
 	p := memDominated()
 	v, f, e, err := BaselineContinuous(p, vr)
@@ -96,6 +99,7 @@ func TestBaselineContinuousMeetsDeadlineExactly(t *testing.T) {
 }
 
 func TestBaselineInfeasible(t *testing.T) {
+	t.Parallel()
 	p := memDominated()
 	p.DeadlineUS = 1 // impossible
 	if _, _, _, err := BaselineContinuous(p, DefaultVRange()); err == nil {
@@ -113,6 +117,7 @@ func TestBaselineInfeasible(t *testing.T) {
 }
 
 func TestContinuousComputeDominatedSingleVoltage(t *testing.T) {
+	t.Parallel()
 	sol, err := OptimizeContinuous(computeDominated(), DefaultVRange())
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +138,7 @@ func TestContinuousComputeDominatedSingleVoltage(t *testing.T) {
 }
 
 func TestContinuousMemorySlackSingleVoltage(t *testing.T) {
+	t.Parallel()
 	sol, err := OptimizeContinuous(memSlack(), DefaultVRange())
 	if err != nil {
 		t.Fatal(err)
@@ -146,6 +152,7 @@ func TestContinuousMemorySlackSingleVoltage(t *testing.T) {
 }
 
 func TestContinuousMemoryDominatedTwoVoltages(t *testing.T) {
+	t.Parallel()
 	p := memDominated()
 	sol, err := OptimizeContinuous(p, DefaultVRange())
 	if err != nil {
@@ -170,6 +177,7 @@ func TestContinuousMemoryDominatedTwoVoltages(t *testing.T) {
 }
 
 func TestContinuousOptimumBeatsOrMatchesBaseline(t *testing.T) {
+	t.Parallel()
 	vr := DefaultVRange()
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 200; trial++ {
@@ -208,6 +216,7 @@ func TestContinuousOptimumBeatsOrMatchesBaseline(t *testing.T) {
 }
 
 func TestDiscreteSolutionConstraints(t *testing.T) {
+	t.Parallel()
 	p := memDominated()
 	ms := volt.XScale3()
 	sol, err := OptimizeDiscrete(p, ms)
@@ -250,6 +259,7 @@ func TestDiscreteSolutionConstraints(t *testing.T) {
 }
 
 func TestDiscreteNeverBeatsContinuous(t *testing.T) {
+	t.Parallel()
 	// The continuous range spans the discrete voltages, so the continuous
 	// optimum is a lower bound for the discrete one.
 	vr := DefaultVRange()
@@ -289,6 +299,7 @@ func TestDiscreteNeverBeatsContinuous(t *testing.T) {
 }
 
 func TestDiscreteVersusBruteForceTwoModes(t *testing.T) {
+	t.Parallel()
 	// With two modes, brute-force the allocation fractions on a fine grid
 	// and compare with the LP optimum.
 	ms := volt.MustModeSet([]volt.Mode{{V: 0.7, F: 200}, {V: 1.65, F: 800}})
@@ -353,6 +364,7 @@ func TestDiscreteVersusBruteForceTwoModes(t *testing.T) {
 }
 
 func TestEminOfYUpperBoundsLP(t *testing.T) {
+	t.Parallel()
 	// The paper's hand construction is a feasible point of the exact model,
 	// so its minimum over y can never beat the LP optimum; for
 	// memory-dominated instances it should land close.
@@ -381,6 +393,7 @@ func TestEminOfYUpperBoundsLP(t *testing.T) {
 }
 
 func TestEminOfYInfeasiblePoints(t *testing.T) {
+	t.Parallel()
 	p := memDominated()
 	ms := volt.XScale3()
 	if e := EminOfY(p, ms, -1); !math.IsInf(e, 1) {
@@ -396,6 +409,7 @@ func TestEminOfYInfeasiblePoints(t *testing.T) {
 }
 
 func TestSavingsDiscreteNonNegativeAndBounded(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(47))
 	ms3 := volt.XScale3()
 	for trial := 0; trial < 100; trial++ {
@@ -419,6 +433,7 @@ func TestSavingsDiscreteNonNegativeAndBounded(t *testing.T) {
 }
 
 func TestMoreLevelsShrinkHeadroom(t *testing.T) {
+	t.Parallel()
 	// The paper's headline: with many levels, a single setting is already
 	// near-optimal, so intra-program DVS saves less (Table 1's Deadline 1
 	// column: 0.62 → 0.23 → 0.11 as levels grow). Reproduce the effect with
@@ -448,6 +463,7 @@ func TestMoreLevelsShrinkHeadroom(t *testing.T) {
 }
 
 func TestEnergyVsV1Shapes(t *testing.T) {
+	t.Parallel()
 	vr := DefaultVRange()
 	grid := make([]float64, 60)
 	for i := range grid {
@@ -475,6 +491,7 @@ func TestEnergyVsV1Shapes(t *testing.T) {
 }
 
 func TestCaseString(t *testing.T) {
+	t.Parallel()
 	if ComputeDominated.String() == "" || MemoryDominated.String() == "" || MemorySlack.String() == "" {
 		t.Error("empty case names")
 	}

@@ -11,6 +11,7 @@ import (
 // of the four program parameters vanishes.
 
 func TestPureComputeNoSavings(t *testing.T) {
+	t.Parallel()
 	// No memory at all: a single frequency is optimal and savings are zero
 	// in both the continuous and discrete models.
 	p := Params{NOverlap: 5e6, NDependent: 3e6, DeadlineUS: 20000}
@@ -32,6 +33,7 @@ func TestPureComputeNoSavings(t *testing.T) {
 }
 
 func TestNoDependentComputation(t *testing.T) {
+	t.Parallel()
 	p := Params{NOverlap: 5e6, NCache: 1e6, TInvariant: 4000, DeadlineUS: 40000}
 	vr := DefaultVRange()
 	if _, err := OptimizeContinuous(p, vr); err != nil {
@@ -52,6 +54,7 @@ func TestNoDependentComputation(t *testing.T) {
 }
 
 func TestNoOverlapComputation(t *testing.T) {
+	t.Parallel()
 	// Only cache traffic and dependent computation: R1 = NCache.
 	p := Params{NCache: 2e6, NDependent: 4e6, TInvariant: 3000, DeadlineUS: 40000}
 	ms := volt.XScale3()
@@ -69,6 +72,7 @@ func TestNoOverlapComputation(t *testing.T) {
 }
 
 func TestZeroMemoryEntirely(t *testing.T) {
+	t.Parallel()
 	// NCache = 0 and TInvariant = 0: discrete LP must still solve.
 	p := Params{NOverlap: 1e6, NDependent: 1e6, DeadlineUS: 10000}
 	ms, _ := volt.Levels(7)
@@ -88,6 +92,7 @@ func TestZeroMemoryEntirely(t *testing.T) {
 }
 
 func TestTinyProgram(t *testing.T) {
+	t.Parallel()
 	// A program of a few hundred cycles must not trip scaling/conditioning.
 	p := Params{NOverlap: 300, NDependent: 200, NCache: 50, TInvariant: 0.5, DeadlineUS: 10}
 	ms := volt.XScale3()
@@ -104,6 +109,7 @@ func TestTinyProgram(t *testing.T) {
 }
 
 func TestEnergyVsV1NoDependent(t *testing.T) {
+	t.Parallel()
 	p := Params{NOverlap: 5e6, NCache: 1e6, TInvariant: 4000, DeadlineUS: 40000}
 	vr := DefaultVRange()
 	es := EnergyVsV1(p, vr, []float64{0.8, 1.2, 1.65})

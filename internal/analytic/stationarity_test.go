@@ -21,6 +21,7 @@ func interiorMemDominated() Params {
 }
 
 func TestStationarityHoldsAtInteriorOptimum(t *testing.T) {
+	t.Parallel()
 	p := interiorMemDominated()
 	vr := DefaultVRange()
 	sol, err := OptimizeContinuous(p, vr)
@@ -92,6 +93,7 @@ func TestStationarityHoldsAtInteriorOptimum(t *testing.T) {
 }
 
 func TestStationarityForcesSingleVoltage(t *testing.T) {
+	t.Parallel()
 	// When the energy and time cycle counts at v1 coincide (computation-
 	// dominated), the condition reduces to v1 == v2: the residual vanishes
 	// exactly on the diagonal and nowhere else nearby.
@@ -117,6 +119,7 @@ func TestStationarityForcesSingleVoltage(t *testing.T) {
 }
 
 func TestTimeSlopeSign(t *testing.T) {
+	t.Parallel()
 	// Below v = vt·a/(a−1)... concretely with a=1.5, vt=0.45 the per-cycle
 	// time derivative is negative for v < 1.8 V (faster clock wins) and
 	// positive above.
@@ -130,6 +133,7 @@ func TestTimeSlopeSign(t *testing.T) {
 }
 
 func TestStationarityDegenerateInputs(t *testing.T) {
+	t.Parallel()
 	vr := DefaultVRange()
 	p := Params{NOverlap: 1e6, NDependent: 0, NCache: 1e5, TInvariant: 10, DeadlineUS: 1e4}
 	if r := StationarityResidual(p, vr, 1.0, 1.2); r != 0 {

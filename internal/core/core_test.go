@@ -48,6 +48,7 @@ func midDeadline(pr *profile.Profile) float64 {
 }
 
 func TestOptimizeMeetsDeadline(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	res, err := OptimizeSingle(pr, dl, nil)
@@ -75,6 +76,7 @@ func TestOptimizeMeetsDeadline(t *testing.T) {
 }
 
 func TestOptimizeBeatsBestSingleMode(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	res, err := OptimizeSingle(pr, dl, nil)
@@ -92,6 +94,7 @@ func TestOptimizeBeatsBestSingleMode(t *testing.T) {
 }
 
 func TestLaxDeadlineUsesSlowestMode(t *testing.T) {
+	t.Parallel()
 	_, pr := collectTwoPhase(t)
 	dl := pr.TotalTimeUS[0] * 1.5
 	res, err := OptimizeSingle(pr, dl, nil)
@@ -108,6 +111,7 @@ func TestLaxDeadlineUsesSlowestMode(t *testing.T) {
 }
 
 func TestTightDeadlineUsesFastestMode(t *testing.T) {
+	t.Parallel()
 	_, pr := collectTwoPhase(t)
 	n := pr.Modes.Len()
 	dl := pr.TotalTimeUS[n-1] * 1.001
@@ -121,6 +125,7 @@ func TestTightDeadlineUsesFastestMode(t *testing.T) {
 }
 
 func TestInfeasibleDeadline(t *testing.T) {
+	t.Parallel()
 	_, pr := collectTwoPhase(t)
 	n := pr.Modes.Len()
 	_, err := OptimizeSingle(pr, pr.TotalTimeUS[n-1]*0.5, nil)
@@ -130,6 +135,7 @@ func TestInfeasibleDeadline(t *testing.T) {
 }
 
 func TestFilteringReducesVariablesKeepsEnergy(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	full, err := OptimizeSingle(pr, dl, &Options{FilterTail: -1})
@@ -163,6 +169,7 @@ func TestFilteringReducesVariablesKeepsEnergy(t *testing.T) {
 }
 
 func TestTransitionCostAwareness(t *testing.T) {
+	t.Parallel()
 	// With an enormous regulator capacitance, transitions are ruinous: the
 	// transition-aware optimizer should schedule (nearly) none, while the
 	// transition-blind (Saputra-style) one switches freely and pays for it
@@ -198,6 +205,7 @@ func TestTransitionCostAwareness(t *testing.T) {
 }
 
 func TestBlockBasedAblation(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	blk, err := OptimizeSingle(pr, dl, &Options{BlockBased: true})
@@ -227,6 +235,7 @@ func TestBlockBasedAblation(t *testing.T) {
 }
 
 func TestHeuristicBaseline(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	sched, err := HeuristicMemoryBound(pr, dl, volt.DefaultRegulator())
@@ -260,6 +269,7 @@ func TestHeuristicBaseline(t *testing.T) {
 }
 
 func TestMultiCategoryOptimization(t *testing.T) {
+	t.Parallel()
 	// Two inputs steering different fractions of work through the heavy
 	// phase; the averaged optimization must meet both deadlines.
 	b := ir.NewBuilder("multi")
@@ -321,6 +331,7 @@ func TestMultiCategoryOptimization(t *testing.T) {
 }
 
 func TestOptionValidation(t *testing.T) {
+	t.Parallel()
 	_, pr := collectTwoPhase(t)
 	if _, err := Optimize(nil, nil); err == nil {
 		t.Error("empty categories accepted")
@@ -341,6 +352,7 @@ func TestOptionValidation(t *testing.T) {
 }
 
 func TestSolverStatsReported(t *testing.T) {
+	t.Parallel()
 	_, pr := collectTwoPhase(t)
 	res, err := OptimizeSingle(pr, midDeadline(pr), &Options{MILP: &milp.Options{MaxNodes: 100000}})
 	if err != nil {
@@ -355,6 +367,7 @@ func TestSolverStatsReported(t *testing.T) {
 }
 
 func TestUnionFind(t *testing.T) {
+	t.Parallel()
 	uf := newUnionFind(5)
 	if uf.groups() != 5 {
 		t.Errorf("groups = %d", uf.groups())
@@ -378,6 +391,7 @@ func TestUnionFind(t *testing.T) {
 }
 
 func TestSingleModeScheduleMatchesFixedRun(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	sched := SingleModeSchedule(pr, 1, volt.DefaultRegulator())
 	res, err := m.RunDVS(pr.Program, pr.Input, sched)

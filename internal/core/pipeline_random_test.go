@@ -24,6 +24,7 @@ import (
 //  5. stripping silent mode-sets changes nothing at run time;
 //  6. Ball–Larus path counts are consistent with back-edge traversals.
 func TestPipelineOnRandomPrograms(t *testing.T) {
+	t.Parallel()
 	m := sim.MustNew(sim.DefaultConfig())
 	ms := volt.XScale3()
 	reg := volt.DefaultRegulator()

@@ -9,6 +9,7 @@ import (
 )
 
 func TestPlacementClassification(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	res, err := OptimizeSingle(pr, dl, nil)
@@ -75,6 +76,7 @@ func TestPlacementClassification(t *testing.T) {
 }
 
 func TestPlacementSingleModeAllSilentButEntry(t *testing.T) {
+	t.Parallel()
 	_, pr := collectTwoPhase(t)
 	sched := SingleModeSchedule(pr, 1, volt.DefaultRegulator())
 	// Initial mode equals the single mode, so even the entry edge is silent.
@@ -88,6 +90,7 @@ func TestPlacementSingleModeAllSilentButEntry(t *testing.T) {
 }
 
 func TestProfiledTransitionsMatchesSimulator(t *testing.T) {
+	t.Parallel()
 	m, pr := collectTwoPhase(t)
 	dl := midDeadline(pr)
 	res, err := OptimizeSingle(pr, dl, nil)

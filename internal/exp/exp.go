@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"ctdvs/internal/ir"
 	"ctdvs/internal/milp"
@@ -23,36 +24,91 @@ import (
 )
 
 // Config carries the shared experiment environment. Profiles are collected
-// lazily and cached, since many experiments share them.
+// lazily and cached, since many experiments share them. A Config is safe for
+// concurrent use: the caches are synchronized and parallel experiment cells
+// draw private simulators from an internal machine pool (the Machine field
+// itself is single-threaded, like every sim.Machine).
 type Config struct {
 	// Scale is the workload scale factor (1.0 = paper-comparable sizes).
 	Scale float64
-	// Machine simulates; defaults to sim.DefaultConfig.
+	// Machine simulates; defaults to sim.DefaultConfig. Serial code paths
+	// use it directly; parallel cells use pooled machines built from its
+	// configuration instead, because a sim.Machine must not run two
+	// simulations at once.
 	Machine *sim.Machine
 	// MILP bounds each solver call.
 	MILP *milp.Options
+	// Workers bounds the experiment fan-out: independent (workload,
+	// category-set, deadline) cells run on up to this many goroutines.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs every cell sequentially.
+	Workers int
 
-	profiles map[string]*profile.Profile
+	mu       sync.Mutex
+	profiles map[string]*profileSlot
 	specs    map[string]*workloads.Spec
+	machines sync.Pool
+}
+
+// profileSlot caches one profile; the once makes concurrent requests for the
+// same key collect it exactly once while other keys proceed in parallel.
+type profileSlot struct {
+	once sync.Once
+	pr   *profile.Profile
+	err  error
 }
 
 // NewConfig returns an experiment configuration at the given workload scale.
 func NewConfig(scale float64) *Config {
-	return &Config{
+	c := &Config{
 		Scale:    scale,
 		Machine:  sim.MustNew(sim.DefaultConfig()),
-		profiles: make(map[string]*profile.Profile),
+		profiles: make(map[string]*profileSlot),
 		specs:    make(map[string]*workloads.Spec),
 	}
+	c.machines.New = func() interface{} {
+		return sim.MustNew(c.Machine.Config())
+	}
+	return c
+}
+
+// acquireMachine returns a simulator for exclusive use by one experiment
+// cell; pair with releaseMachine. Machines are pooled because construction
+// is cheap but not free and cells are short-lived.
+func (c *Config) acquireMachine() *sim.Machine {
+	return c.machines.Get().(*sim.Machine)
+}
+
+func (c *Config) releaseMachine(m *sim.Machine) {
+	m.EdgeHook = nil
+	c.machines.Put(m)
+}
+
+// solverOpts returns the MILP options experiment cells should pass to the
+// optimizer. When the experiment layer itself fans out, per-solve
+// parallelism defaults to a single worker so cells do not oversubscribe the
+// machine; an explicitly configured MILP.Workers always wins.
+func (c *Config) solverOpts() *milp.Options {
+	var o milp.Options
+	if c.MILP != nil {
+		o = *c.MILP
+	}
+	if o.Workers == 0 && c.workers() > 1 {
+		o.Workers = 1
+	}
+	return &o
 }
 
 // Spec returns (and caches) the named workload at the configured scale.
 func (c *Config) Spec(name string) (*workloads.Spec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if s, ok := c.specs[name]; ok {
 		return s, nil
 	}
-	for _, s := range workloads.All(c.Scale) {
-		c.specs[s.Name] = s
+	if len(c.specs) == 0 {
+		for _, s := range workloads.All(c.Scale) {
+			c.specs[s.Name] = s
+		}
 	}
 	if s, ok := c.specs[name]; ok {
 		return s, nil
@@ -61,29 +117,37 @@ func (c *Config) Spec(name string) (*workloads.Spec, error) {
 }
 
 // Profile returns (and caches) the profile of one benchmark input under a
-// mode set identified by its level count.
+// mode set identified by its level count. Concurrent callers block only on
+// the key they ask for.
 func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile, error) {
 	key := fmt.Sprintf("%s|%d|%d", bench, input, levels)
-	if p, ok := c.profiles[key]; ok {
-		return p, nil
+	c.mu.Lock()
+	slot, ok := c.profiles[key]
+	if !ok {
+		slot = &profileSlot{}
+		c.profiles[key] = slot
 	}
-	spec, err := c.Spec(bench)
-	if err != nil {
-		return nil, err
-	}
-	if input < 0 || input >= len(spec.Inputs) {
-		return nil, fmt.Errorf("exp: %s has no input %d", bench, input)
-	}
-	ms, err := volt.Levels(levels)
-	if err != nil {
-		return nil, err
-	}
-	pr, err := profile.Collect(c.Machine, spec.Program, spec.Inputs[input], ms)
-	if err != nil {
-		return nil, err
-	}
-	c.profiles[key] = pr
-	return pr, nil
+	c.mu.Unlock()
+	slot.once.Do(func() {
+		spec, err := c.Spec(bench)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		if input < 0 || input >= len(spec.Inputs) {
+			slot.err = fmt.Errorf("exp: %s has no input %d", bench, input)
+			return
+		}
+		ms, err := volt.Levels(levels)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		m := c.acquireMachine()
+		defer c.releaseMachine(m)
+		slot.pr, slot.err = profile.Collect(m, spec.Program, spec.Inputs[input], ms)
+	})
+	return slot.pr, slot.err
 }
 
 // Deadlines returns the benchmark's five paper deadlines (µs) at the current

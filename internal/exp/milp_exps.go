@@ -20,15 +20,17 @@ type Table4Row struct {
 // Table4 measures the fixed-mode runtimes of every benchmark and derives the
 // paper's deadline positions (Figure 16). Deadline 5 is the laxest.
 func Table4(c *Config) ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, bench := range Suite() {
+	suite := Suite()
+	rows := make([]Table4Row, len(suite))
+	err := c.forEach(len(suite), func(i int) error {
+		bench := suite[i]
 		pr, err := c.Profile(bench, 0, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dls, err := c.Deadlines(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table4Row{
 			Benchmark: bench,
@@ -39,7 +41,11 @@ func Table4(c *Config) ([]Table4Row, error) {
 		for k := range dls {
 			row.Deadlines[k] = dls[k] / 1e3
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -73,20 +79,25 @@ type Table7Row struct {
 
 // Table7 profiles the four analytic-model benchmarks at the fastest mode.
 func Table7(c *Config) ([]Table7Row, error) {
-	var rows []Table7Row
-	for _, bench := range Table7Benchmarks() {
-		pr, err := c.Profile(bench, 0, 3)
+	benches := Table7Benchmarks()
+	rows := make([]Table7Row, len(benches))
+	err := c.forEach(len(benches), func(i int) error {
+		pr, err := c.Profile(benches[i], 0, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := pr.Params
-		rows = append(rows, Table7Row{
-			Benchmark:    bench,
+		rows[i] = Table7Row{
+			Benchmark:    benches[i],
 			NCacheK:      float64(p.NCache) / 1e3,
 			NOverlapK:    float64(p.NOverlap) / 1e3,
 			NDependentK:  float64(p.NDependent) / 1e3,
 			TInvariantUS: p.TInvariantUS,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -134,30 +145,33 @@ func (r FilterRow) Speedup() float64 {
 // Deadline 5 (as the paper does, with the 12 µs / 1.2 µJ transition cost).
 func Table3Figure14(c *Config) ([]FilterRow, error) {
 	reg := volt.DefaultRegulator()
-	var rows []FilterRow
-	for _, bench := range Suite() {
+	suite := Suite()
+	opts := c.solverOpts()
+	rows := make([]FilterRow, len(suite))
+	err := c.forEach(len(suite), func(i int) error {
+		bench := suite[i]
 		pr, err := c.Profile(bench, 0, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dls, err := c.Deadlines(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dl := dls[4] // Deadline 5
 		full, err := core.OptimizeSingle(pr, dl, &core.Options{
-			Regulator: reg, FilterTail: -1, MILP: c.MILP,
+			Regulator: reg, FilterTail: -1, MILP: opts,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s full: %w", bench, err)
+			return fmt.Errorf("%s full: %w", bench, err)
 		}
 		filt, err := core.OptimizeSingle(pr, dl, &core.Options{
-			Regulator: reg, FilterTail: 0.02, MILP: c.MILP,
+			Regulator: reg, FilterTail: 0.02, MILP: opts,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s filtered: %w", bench, err)
+			return fmt.Errorf("%s filtered: %w", bench, err)
 		}
-		rows = append(rows, FilterRow{
+		rows[i] = FilterRow{
 			Benchmark:        bench,
 			FullEnergyUJ:     full.PredictedEnergyUJ,
 			FilteredEnergyUJ: filt.PredictedEnergyUJ,
@@ -165,7 +179,11 @@ func Table3Figure14(c *Config) ([]FilterRow, error) {
 			FilteredGroups:   filt.IndependentEdges,
 			FullSolve:        full.Solver.SolveTime,
 			FilteredSolve:    filt.Solver.SolveTime,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -201,37 +219,55 @@ type Fig15Row struct {
 	Baseline600J float64 // µJ
 }
 
-// Figure15 sweeps c ∈ {100µ, 10µ, 1µ, 0.1µ, 0.01µ}F at Deadline 5.
+// Figure15 sweeps c ∈ {100µ, 10µ, 1µ, 0.1µ, 0.01µ}F at Deadline 5. Every
+// (benchmark, capacitance) cell is independent, so the whole grid fans out
+// over the configured worker pool with results collected in grid order.
 func Figure15(c *Config) ([]Fig15Row, error) {
 	caps := []float64{100e-6, 10e-6, 1e-6, 0.1e-6, 0.01e-6}
-	var rows []Fig15Row
-	for _, bench := range Suite() {
+	suite := Suite()
+	opts := c.solverOpts()
+	rows := make([]Fig15Row, len(suite))
+	for b := range rows {
+		rows[b] = Fig15Row{
+			Benchmark:   suite[b],
+			CapsF:       append([]float64(nil), caps...),
+			NormEnergy:  make([]float64, len(caps)),
+			Transitions: make([]int64, len(caps)),
+		}
+	}
+	err := c.forEach(len(suite)*len(caps), func(i int) error {
+		b, ci := i/len(caps), i%len(caps)
+		bench, cap := suite[b], caps[ci]
 		pr, err := c.Profile(bench, 0, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dls, err := c.Deadlines(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dl := dls[4]
 		base := pr.TotalEnergyUJ[1] // fixed 600 MHz run
-		row := Fig15Row{Benchmark: bench, Baseline600J: base}
-		for _, cap := range caps {
-			reg := volt.DefaultRegulator().WithCapacitance(cap)
-			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
-			if err != nil {
-				return nil, fmt.Errorf("%s c=%v: %w", bench, cap, err)
-			}
-			ev, err := core.Evaluate(c.Machine, pr, res.Schedule, dl)
-			if err != nil {
-				return nil, err
-			}
-			row.CapsF = append(row.CapsF, cap)
-			row.NormEnergy = append(row.NormEnergy, ev.Run.EnergyUJ/base)
-			row.Transitions = append(row.Transitions, ev.Run.Transitions)
+		if ci == 0 {
+			rows[b].Baseline600J = base
 		}
-		rows = append(rows, row)
+		reg := volt.DefaultRegulator().WithCapacitance(cap)
+		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
+		if err != nil {
+			return fmt.Errorf("%s c=%v: %w", bench, cap, err)
+		}
+		m := c.acquireMachine()
+		defer c.releaseMachine(m)
+		ev, err := core.Evaluate(m, pr, res.Schedule, dl)
+		if err != nil {
+			return err
+		}
+		rows[b].NormEnergy[ci] = ev.Run.EnergyUJ / base
+		rows[b].Transitions[ci] = ev.Run.Transitions
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -268,41 +304,52 @@ type DeadlineSweepRow struct {
 }
 
 // DeadlineSweep optimizes and measures every benchmark at all five
-// deadlines with the typical c = 10 µF transition cost.
+// deadlines with the typical c = 10 µF transition cost. The 6×5
+// (benchmark, deadline) grid fans out over the configured worker pool.
 func DeadlineSweep(c *Config) ([]DeadlineSweepRow, error) {
 	reg := volt.DefaultRegulator()
-	var rows []DeadlineSweepRow
-	for _, bench := range Suite() {
+	suite := Suite()
+	opts := c.solverOpts()
+	rows := make([]DeadlineSweepRow, len(suite))
+	err := c.forEach(len(suite)*5, func(i int) error {
+		b, k := i/5, i%5
+		bench := suite[b]
 		pr, err := c.Profile(bench, 0, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dls, err := c.Deadlines(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := DeadlineSweepRow{Benchmark: bench, DeadlinesUS: dls}
-		for k, dl := range dls {
-			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
-			if err != nil {
-				return nil, fmt.Errorf("%s D%d: %w", bench, k+1, err)
-			}
-			ev, err := core.Evaluate(c.Machine, pr, res.Schedule, dl)
-			if err != nil {
-				return nil, err
-			}
-			mode, baseE, ok := pr.BestSingleMode(dl)
-			if !ok {
-				return nil, fmt.Errorf("%s D%d: no single mode meets deadline", bench, k+1)
-			}
-			_ = mode
-			row.EnergyUJ[k] = ev.Run.EnergyUJ
-			row.NormEnergy[k] = ev.Run.EnergyUJ / baseE
-			row.SolveTime[k] = res.Solver.SolveTime
-			row.Transitions[k] = ev.Run.Transitions
-			row.MeetsDL[k] = ev.Run.TimeUS <= dl*1.02
+		if k == 0 {
+			rows[b].Benchmark = bench
+			rows[b].DeadlinesUS = dls
 		}
-		rows = append(rows, row)
+		dl := dls[k]
+		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
+		if err != nil {
+			return fmt.Errorf("%s D%d: %w", bench, k+1, err)
+		}
+		m := c.acquireMachine()
+		defer c.releaseMachine(m)
+		ev, err := core.Evaluate(m, pr, res.Schedule, dl)
+		if err != nil {
+			return err
+		}
+		_, baseE, ok := pr.BestSingleMode(dl)
+		if !ok {
+			return fmt.Errorf("%s D%d: no single mode meets deadline", bench, k+1)
+		}
+		rows[b].EnergyUJ[k] = ev.Run.EnergyUJ
+		rows[b].NormEnergy[k] = ev.Run.EnergyUJ / baseE
+		rows[b].SolveTime[k] = res.Solver.SolveTime
+		rows[b].Transitions[k] = ev.Run.Transitions
+		rows[b].MeetsDL[k] = ev.Run.TimeUS <= dl*1.02
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -365,38 +412,49 @@ type Table6Row struct {
 }
 
 // Table6 runs the full optimize-and-measure pipeline for 3/7/13 voltage
-// levels on the Table 7 benchmarks.
+// levels on the Table 7 benchmarks. The (benchmark, level-count) cells fan
+// out over the configured worker pool; the five deadlines of a cell stay
+// sequential on one pooled machine.
 func Table6(c *Config) ([]Table6Row, error) {
 	reg := volt.DefaultRegulator()
-	var rows []Table6Row
-	for _, bench := range Table7Benchmarks() {
+	benches := Table7Benchmarks()
+	levelSets := []int{3, 7, 13}
+	opts := c.solverOpts()
+	rows := make([]Table6Row, len(benches)*len(levelSets))
+	err := c.forEach(len(rows), func(i int) error {
+		bench := benches[i/len(levelSets)]
+		levels := levelSets[i%len(levelSets)]
 		dls, err := c.Deadlines(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, levels := range []int{3, 7, 13} {
-			pr, err := c.Profile(bench, 0, levels)
+		pr, err := c.Profile(bench, 0, levels)
+		if err != nil {
+			return err
+		}
+		m := c.acquireMachine()
+		defer c.releaseMachine(m)
+		row := Table6Row{Benchmark: bench, Levels: levels}
+		for k, dl := range dls {
+			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
 			if err != nil {
-				return nil, err
+				// A deadline the level set cannot meet records zero.
+				continue
 			}
-			row := Table6Row{Benchmark: bench, Levels: levels}
-			for k, dl := range dls {
-				res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
-				if err != nil {
-					// A deadline the level set cannot meet records zero.
-					continue
-				}
-				s, err := core.SavingsVsBestSingle(c.Machine, pr, res.Schedule, dl, reg)
-				if err != nil {
-					continue
-				}
-				if s < 0 {
-					s = 0
-				}
-				row.Savings[k] = s
+			s, err := core.SavingsVsBestSingle(m, pr, res.Schedule, dl, reg)
+			if err != nil {
+				continue
 			}
-			rows = append(rows, row)
+			if s < 0 {
+				s = 0
+			}
+			row.Savings[k] = s
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

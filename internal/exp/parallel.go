@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the configured fan-out width.
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1) on up to c.workers() goroutines and returns the
+// error of the smallest failing index (so which error surfaces does not
+// depend on scheduling). Results are collected in order by having each fn
+// write to its own index of a caller-preallocated slice; forEach itself
+// imposes no output ordering beyond that. With one worker the calls run
+// sequentially on the caller's goroutine, preserving the old serial
+// behavior exactly; a failure then stops the loop early like the original
+// `return err` did.
+func (c *Config) forEach(n int, fn func(i int) error) error {
+	w := c.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		wg       sync.WaitGroup
+	)
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

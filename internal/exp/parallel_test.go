@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEach checks the fan-out helper directly: every index runs exactly
+// once, and when several indices fail the error of the smallest index wins
+// regardless of scheduling.
+func TestForEach(t *testing.T) {
+	c := testConfig()
+	c.Workers = 8
+
+	ran := make([]int32, 100)
+	errA, errB := errors.New("a"), errors.New("b")
+	err := c.forEach(len(ran), func(i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		switch i {
+		case 12:
+			return errA
+		case 37:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("got error %v, want the smallest failing index's (%v)", err, errA)
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Errorf("index %d ran %d times", i, n)
+		}
+	}
+
+	// Serial mode stops at the first error like the old loops did.
+	c.Workers = 1
+	calls := 0
+	err = c.forEach(10, func(i int) error {
+		calls++
+		if i == 3 {
+			return errB
+		}
+		return nil
+	})
+	if err != errB || calls != 4 {
+		t.Errorf("serial: err=%v calls=%d, want %v and 4", err, calls, errB)
+	}
+}
+
+// TestProfileConcurrentDedup hammers one profile key from many goroutines;
+// the per-key once must collect it exactly once and hand back one pointer.
+func TestProfileConcurrentDedup(t *testing.T) {
+	c := testConfig()
+	c.Workers = 8
+	prs := make([]interface{}, 16)
+	err := c.forEach(len(prs), func(i int) error {
+		pr, err := c.Profile("adpcm/encode", 0, 3)
+		prs[i] = pr
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(prs); i++ {
+		if prs[i] != prs[0] {
+			t.Fatalf("goroutine %d got a different profile instance", i)
+		}
+	}
+}
+
+// TestParallelFanOutMatchesSerial runs the same experiments with Workers 1
+// and Workers 8 on fresh configs and requires identical results: the fan-out
+// only reorders execution, never the collected rows.
+func TestParallelFanOutMatchesSerial(t *testing.T) {
+	ser := testConfig()
+	ser.Workers = 1
+	par := testConfig()
+	par.Workers = 8
+
+	st4, err := Table4(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt4, err := Table4(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st4, pt4) {
+		t.Errorf("Table4 differs:\nserial   %+v\nparallel %+v", st4, pt4)
+	}
+
+	sf15, err := Figure15(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf15, err := Figure15(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sf15, pf15) {
+		t.Errorf("Figure15 differs:\nserial   %+v\nparallel %+v", sf15, pf15)
+	}
+}

@@ -42,8 +42,9 @@ func (r ScalingRow) Speedup() float64 {
 // unfiltered runs bounded (their status is reported).
 func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Duration) ([]ScalingRow, error) {
 	reg := volt.DefaultRegulator()
-	var rows []ScalingRow
-	for _, size := range sizes {
+	rows := make([]ScalingRow, len(sizes))
+	err := c.forEach(len(sizes), func(i int) error {
+		size := sizes[i]
 		spec, err := workloads.Synthetic(workloads.SyntheticConfig{
 			Regions:         regions,
 			BlocksPerRegion: size,
@@ -51,29 +52,34 @@ func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Dur
 			Seed:            int64(1000 + size),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pr, err := profile.Collect(c.Machine, spec.Program, spec.Inputs[0], volt.XScale3())
+		m := c.acquireMachine()
+		defer c.releaseMachine(m)
+		pr, err := profile.Collect(m, spec.Program, spec.Inputs[0], volt.XScale3())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n := pr.Modes.Len()
 		dl := (pr.TotalTimeUS[n-1] + pr.TotalTimeUS[0]) / 2
 
 		opts := &milp.Options{TimeLimit: perSolve}
+		if c.workers() > 1 {
+			opts.Workers = 1
+		}
 		full, err := core.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: -1, MILP: opts,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("size %d full: %w", size, err)
+			return fmt.Errorf("size %d full: %w", size, err)
 		}
 		filt, err := core.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: 0.02, MILP: opts,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("size %d filtered: %w", size, err)
+			return fmt.Errorf("size %d filtered: %w", size, err)
 		}
-		rows = append(rows, ScalingRow{
+		rows[i] = ScalingRow{
 			Edges:          full.TotalEdges,
 			Groups:         filt.IndependentEdges,
 			FullSolve:      full.Solver.SolveTime,
@@ -82,7 +88,11 @@ func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Dur
 			FilterEnergyUJ: filt.PredictedEnergyUJ,
 			FullStatus:     full.Solver.Status,
 			FilterStatus:   filt.Solver.Status,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

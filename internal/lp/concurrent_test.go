@@ -1,0 +1,108 @@
+package lp
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// assignmentLP builds the DVS-shaped assignment problem used to stress
+// concurrent solving: SOS1-style equality rows plus one budget row.
+func assignmentLP(groups, modes int) *Problem {
+	p := NewProblem()
+	var budget []Term
+	for g := 0; g < groups; g++ {
+		row := make([]Term, modes)
+		for m := 0; m < modes; m++ {
+			v := p.AddVariable(float64((g*7+m*13)%17)+1, 0, 1)
+			row[m] = Term{Var: v, Coef: 1}
+			budget = append(budget, Term{Var: v, Coef: float64(m + 1)})
+		}
+		p.MustAddConstraint(row, EQ, 1)
+	}
+	p.MustAddConstraint(budget, LE, float64(groups*2))
+	return p
+}
+
+// TestConcurrentSolves solves one shared Problem from 16 goroutines at once
+// (run under -race) and checks every solve agrees with the serial answer:
+// solving clones all mutable state per call, so a shared Problem is safe.
+func TestConcurrentSolves(t *testing.T) {
+	p := assignmentLP(40, 3)
+	want, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Status != Optimal {
+		t.Fatalf("status %v, want optimal", want.Status)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	sols := make([]*Solution, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sols[i], errs[i] = p.Solve(nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := range sols {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if sols[i].Status != Optimal {
+			t.Fatalf("goroutine %d: status %v", i, sols[i].Status)
+		}
+		if sols[i].Objective != want.Objective {
+			t.Errorf("goroutine %d: objective %v, want %v", i, sols[i].Objective, want.Objective)
+		}
+	}
+}
+
+// TestConcurrentSolveBounded fixes different variables from different
+// goroutines against the same shared Problem; no call may observe another
+// call's overrides.
+func TestConcurrentSolveBounded(t *testing.T) {
+	p := assignmentLP(20, 3)
+	base, err := p.Solve(nil)
+	if err != nil || base.Status != Optimal {
+		t.Fatalf("base solve: %v %v", err, base)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := i % p.NumVars()
+			fix := float64(i % 2)
+			sol, err := p.SolveBounded(nil, map[int]Bound{v: {Lo: fix, Hi: fix}})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			if sol.Status != Optimal && sol.Status != Infeasible {
+				t.Errorf("goroutine %d: status %v", i, sol.Status)
+				return
+			}
+			if sol.Status == Optimal {
+				if math.Abs(sol.X[v]-fix) > 1e-9 {
+					t.Errorf("goroutine %d: override ignored, x[%d]=%v want %v", i, v, sol.X[v], fix)
+				}
+				if sol.Objective < base.Objective-1e-9 {
+					t.Errorf("goroutine %d: restricted objective %v beats base %v", i, sol.Objective, base.Objective)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The Problem's stored bounds must be untouched.
+	for j := 0; j < p.NumVars(); j++ {
+		if lo, hi := p.Bounds(j); lo != 0 || hi != 1 {
+			t.Fatalf("bounds of %d mutated to [%v,%v]", j, lo, hi)
+		}
+	}
+}

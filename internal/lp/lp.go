@@ -19,6 +19,17 @@
 // bound; bound flips avoid pivots), obtains an initial feasible basis with
 // per-row artificial variables in phase 1, and guards against cycling by
 // switching from Dantzig pricing to Bland's rule when the objective stalls.
+//
+// # Concurrency
+//
+// Solving never mutates the Problem: every call to Solve or SolveBounded
+// builds the tableau state it works on from scratch, so any number of
+// goroutines may solve the same Problem simultaneously. Construction and
+// mutation (AddVariable, AddConstraint, SetBounds, SetObjective) are not
+// synchronized and must not race with solves; the intended pattern is
+// build-once, solve-many. Branch-and-bound style per-call bound
+// restrictions go through SolveBounded, which applies them to the private
+// per-call state only.
 package lp
 
 import (
@@ -201,9 +212,25 @@ type Options struct {
 // inverted or non-finite lower bounds).
 var ErrBadModel = errors.New("lp: invalid model")
 
+// Bound is a [Lo, Hi] variable box, used by SolveBounded to restrict
+// variables for one solve without mutating the Problem.
+type Bound struct {
+	Lo, Hi float64
+}
+
 // Solve optimizes the problem and returns the solution. The problem itself
-// is not modified. A nil opts selects defaults.
+// is not modified, so concurrent Solve calls on one Problem are safe. A nil
+// opts selects defaults.
 func (p *Problem) Solve(opts *Options) (*Solution, error) {
+	return p.SolveBounded(opts, nil)
+}
+
+// SolveBounded optimizes the problem as if every variable v listed in
+// overrides had bounds overrides[v] instead of its stored bounds. The
+// Problem is not mutated — the overrides live only in the per-call solver
+// state — which makes SolveBounded safe to call from many goroutines on a
+// shared Problem; branch-and-bound workers use it to fix binaries per node.
+func (p *Problem) SolveBounded(opts *Options, overrides map[int]Bound) (*Solution, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -219,15 +246,24 @@ func (p *Problem) Solve(opts *Options) (*Solution, error) {
 	if o.MaxIters == 0 {
 		o.MaxIters = 50*(m+n) + 10000
 	}
+	for v := range overrides {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: bound override for unknown variable %d", ErrBadModel, v)
+		}
+	}
 	for j := 0; j < n; j++ {
-		if math.IsInf(p.lo[j], 0) || math.IsNaN(p.lo[j]) {
+		lo, hi := p.lo[j], p.hi[j]
+		if b, ok := overrides[j]; ok {
+			lo, hi = b.Lo, b.Hi
+		}
+		if math.IsInf(lo, 0) || math.IsNaN(lo) {
 			return nil, fmt.Errorf("%w: variable %d has non-finite lower bound", ErrBadModel, j)
 		}
-		if p.hi[j] < p.lo[j] {
+		if hi < lo {
 			// An empty box is an infeasible model, not a structural error.
 			return &Solution{Status: Infeasible}, nil
 		}
 	}
-	s := newSimplex(p, o)
+	s := newSimplex(p, o, overrides)
 	return s.solve()
 }

@@ -48,7 +48,7 @@ type simplex struct {
 	bland bool // anti-cycling mode
 }
 
-func newSimplex(p *Problem, o Options) *simplex {
+func newSimplex(p *Problem, o Options, overrides map[int]Bound) *simplex {
 	n := len(p.obj)
 	m := len(p.cons)
 	s := &simplex{opt: o, n: n, m: m}
@@ -63,6 +63,9 @@ func newSimplex(p *Problem, o Options) *simplex {
 	copy(s.lo, p.lo)
 	copy(s.hi, p.hi)
 	copy(s.cost, p.obj)
+	for v, b := range overrides {
+		s.lo[v], s.hi[v] = b.Lo, b.Hi
+	}
 
 	rows := make([][]float64, m)
 	rhs := make([]float64, m)

@@ -8,6 +8,18 @@
 // dominant structure of the DVS formulation — one mode variable per
 // control-flow edge), best-bound node selection, most-fractional branching,
 // an SOS1 rounding heuristic for early incumbents, and node/time limits.
+//
+// # Parallel search
+//
+// Options.Workers > 1 turns on a deterministic parallel tree search: each
+// round pops the best (bound, node-id) batch of open nodes from a shared
+// priority queue, solves their LP relaxations concurrently on a fixed pool
+// of workers, and then commits the results sequentially in the same
+// (bound, node-id) order — pruning, incumbent updates, and branching all
+// happen in the commit step. Because batch composition and commit order
+// depend only on the queue state (never on worker timing), a solve with a
+// given worker count is bit-for-bit reproducible, and Workers: 1 reproduces
+// the serial algorithm exactly. See DESIGN.md, "Parallel solver".
 package milp
 
 import (
@@ -15,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"ctdvs/internal/lp"
@@ -23,7 +37,9 @@ import (
 // Problem is a mixed-integer linear program: an LP plus integrality
 // restrictions.
 type Problem struct {
-	// LP is the relaxation. Solve does not modify it.
+	// LP is the relaxation. Solve does not modify it (all per-node bound
+	// restrictions go through lp.Problem.SolveBounded), which is what lets
+	// workers share it.
 	LP *lp.Problem
 	// Integers lists the variables restricted to integer values. For the DVS
 	// formulation these are the 0/1 mode variables.
@@ -79,6 +95,12 @@ type Options struct {
 	Gap float64
 	// IntTol is the integrality tolerance; 0 selects 1e-6.
 	IntTol float64
+	// Workers is the number of concurrent LP relaxation solvers; 0 selects
+	// runtime.GOMAXPROCS(0), 1 selects the serial search. Any worker count
+	// yields the same objective and, under the deterministic (bound,
+	// node-id) tie-break, the same incumbent on problems with a unique
+	// optimum; a given worker count is bit-for-bit reproducible run to run.
+	Workers int
 	// LP tunes the relaxation solver.
 	LP *lp.Options
 }
@@ -89,24 +111,34 @@ type Result struct {
 	X         []float64 // incumbent point (Optimal or Feasible)
 	Objective float64   // incumbent objective
 	Bound     float64   // best proven lower bound on the optimum
-	Nodes     int       // branch-and-bound nodes explored
-	LPIters   int       // total LP solves performed
+	Nodes     int       // branch-and-bound nodes committed
+	LPIters   int       // total LP solves performed (incl. speculative batch solves)
+	Workers   int       // worker count the search ran with
 	SolveTime time.Duration
 }
 
-type bound struct{ lo, hi float64 }
+// bound aliases the LP solver's per-call variable box; branch-and-bound
+// nodes are sets of these, keyed by variable.
+type bound = lp.Bound
 
 // node is one branch-and-bound subproblem: bound overrides relative to the
-// root plus the parent relaxation value used as its priority.
+// root, the parent relaxation value used as its priority, and a creation id
+// that breaks priority ties deterministically.
 type node struct {
+	id        int
 	overrides map[int]bound
 	lpBound   float64
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].lpBound < h[j].lpBound }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].lpBound != h[j].lpBound {
+		return h[i].lpBound < h[j].lpBound
+	}
+	return h[i].id < h[j].id
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -132,6 +164,9 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	if p.LP == nil {
 		return nil, errors.New("milp: nil LP")
 	}
@@ -144,16 +179,16 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	s := &search{
 		prob:  p,
 		opts:  o,
-		work:  p.LP.Clone(),
 		start: time.Now(),
 	}
-	// Remember root bounds so per-node overrides can be applied and undone.
-	s.rootLo = make([]float64, s.work.NumVars())
-	s.rootHi = make([]float64, s.work.NumVars())
-	for j := 0; j < s.work.NumVars(); j++ {
-		s.rootLo[j], s.rootHi[j] = s.work.Bounds(j)
+	// Remember root bounds so per-node overrides can be composed with them.
+	s.rootLo = make([]float64, p.LP.NumVars())
+	s.rootHi = make([]float64, p.LP.NumVars())
+	for j := 0; j < p.LP.NumVars(); j++ {
+		s.rootLo[j], s.rootHi[j] = p.LP.Bounds(j)
 	}
 	res := s.run()
+	res.Workers = o.Workers
 	res.SolveTime = time.Since(s.start)
 	return res, nil
 }
@@ -161,7 +196,6 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 type search struct {
 	prob  *Problem
 	opts  Options
-	work  *lp.Problem
 	start time.Time
 
 	rootLo, rootHi []float64
@@ -172,24 +206,64 @@ type search struct {
 
 	nodes   int
 	lpIters int
+	nextID  int
+
+	// Worker pool (nil when Workers == 1). Jobs are per-node LP solves; the
+	// coordinator fans a batch out, waits on the batch WaitGroup, and then
+	// commits sequentially.
+	jobs chan lpJob
+	wg   sync.WaitGroup
+}
+
+// lpJob asks a worker to solve one node's relaxation into sols/errs[idx].
+type lpJob struct {
+	nd   *node
+	idx  int
+	sols []*lp.Solution
+	errs []error
+	done *sync.WaitGroup
+}
+
+func (s *search) worker() {
+	defer s.wg.Done()
+	for jb := range s.jobs {
+		jb.sols[jb.idx], jb.errs[jb.idx] = s.prob.LP.SolveBounded(s.opts.LP, jb.nd.overrides)
+		jb.done.Done()
+	}
 }
 
 func (s *search) timeUp() bool {
 	return s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit
 }
 
-// solveWith applies the node's bound overrides, solves the relaxation, and
-// restores the root bounds.
+// solveWith solves the relaxation under the given bound overrides on the
+// coordinator goroutine (the root relaxation and the rounding heuristic).
 func (s *search) solveWith(ov map[int]bound) (*lp.Solution, error) {
-	for v, b := range ov {
-		s.work.SetBounds(v, b.lo, b.hi)
-	}
-	sol, err := s.work.Solve(s.opts.LP)
-	for v := range ov {
-		s.work.SetBounds(v, s.rootLo[v], s.rootHi[v])
-	}
 	s.lpIters++
-	return sol, err
+	return s.prob.LP.SolveBounded(s.opts.LP, ov)
+}
+
+// solveBatch solves every node's relaxation, fanning out across the worker
+// pool when one exists. Results are indexed like the batch.
+func (s *search) solveBatch(batch []*node) ([]*lp.Solution, []error) {
+	sols := make([]*lp.Solution, len(batch))
+	errs := make([]error, len(batch))
+	s.lpIters += len(batch)
+	if s.jobs == nil || len(batch) == 1 {
+		for i, nd := range batch {
+			sols[i], errs[i] = s.prob.LP.SolveBounded(s.opts.LP, nd.overrides)
+		}
+		return sols, errs
+	}
+	var done sync.WaitGroup
+	done.Add(len(batch) - 1)
+	for i := 1; i < len(batch); i++ {
+		s.jobs <- lpJob{nd: batch[i], idx: i, sols: sols, errs: errs, done: &done}
+	}
+	// The coordinator pulls its weight on the head node while workers run.
+	sols[0], errs[0] = s.prob.LP.SolveBounded(s.opts.LP, batch[0].overrides)
+	done.Wait()
+	return sols, errs
 }
 
 // fractional returns the integer variable whose value is farthest from an
@@ -246,9 +320,9 @@ func (s *search) roundingHeuristic(x []float64, ov map[int]bound) {
 		}
 		for _, v := range g {
 			if v == argmax {
-				fixed[v] = bound{1, 1}
+				fixed[v] = bound{Lo: 1, Hi: 1}
 			} else {
-				fixed[v] = bound{0, 0}
+				fixed[v] = bound{Lo: 0, Hi: 0}
 			}
 		}
 	}
@@ -261,7 +335,7 @@ func (s *search) roundingHeuristic(x []float64, ov map[int]bound) {
 		if r < lo || r > hi {
 			return
 		}
-		fixed[v] = bound{r, r}
+		fixed[v] = bound{Lo: r, Hi: r}
 	}
 	sol, err := s.solveWith(fixed)
 	if err != nil || sol.Status != lp.Optimal {
@@ -275,7 +349,7 @@ func (s *search) roundingHeuristic(x []float64, ov map[int]bound) {
 
 func boundsOf(v int, ov map[int]bound, rootLo, rootHi []float64) (float64, float64) {
 	if b, ok := ov[v]; ok {
-		return b.lo, b.hi
+		return b.Lo, b.Hi
 	}
 	return rootLo[v], rootHi[v]
 }
@@ -294,55 +368,97 @@ func (s *search) run() *Result {
 		return &Result{Status: NoSolution, Nodes: 1, LPIters: s.lpIters}
 	}
 
-	h := &nodeHeap{{overrides: map[int]bound{}, lpBound: rootSol.Objective}}
+	if s.opts.Workers > 1 {
+		s.jobs = make(chan lpJob)
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+		defer func() {
+			close(s.jobs)
+			s.wg.Wait()
+		}()
+	}
+
+	h := &nodeHeap{{id: 0, overrides: map[int]bound{}, lpBound: rootSol.Objective}}
 	heap.Init(h)
+	s.nextID = 1
 	bestBound := rootSol.Objective
 
 	for h.Len() > 0 {
 		if s.nodes >= s.opts.MaxNodes || s.timeUp() {
 			return s.finish(Feasible, bestBound)
 		}
-		nd := heap.Pop(h).(*node)
-		bestBound = nd.lpBound
-		if s.haveInc && !better(nd.lpBound, s.incumbentObj, s.opts.Gap) {
+		head := heap.Pop(h).(*node)
+		bestBound = head.lpBound
+		if s.haveInc && !better(head.lpBound, s.incumbentObj, s.opts.Gap) {
 			// Best-bound order: nothing left can improve the incumbent.
-			return s.finish(Optimal, nd.lpBound)
-		}
-		s.nodes++
-
-		sol, err := s.solveWith(nd.overrides)
-		if err != nil || sol.Status == lp.IterationLimit {
-			continue // treat as unexplorable; bound stays conservative
-		}
-		if sol.Status != lp.Optimal {
-			continue // infeasible subtree
-		}
-		if s.haveInc && !better(sol.Objective, s.incumbentObj, s.opts.Gap) {
-			continue // dominated
+			return s.finish(Optimal, head.lpBound)
 		}
 
-		branch := s.fractional(sol.X)
-		if branch < 0 {
-			s.accept(sol.X, sol.Objective)
-			continue
+		// Form this round's batch: the best (bound, id) open nodes that are
+		// not already closed by the incumbent, up to one LP per worker and
+		// never past the node limit.
+		batch := append(make([]*node, 0, s.opts.Workers), head)
+		for len(batch) < s.opts.Workers && h.Len() > 0 && s.nodes+len(batch) < s.opts.MaxNodes {
+			nd := (*h)[0]
+			if s.haveInc && !better(nd.lpBound, s.incumbentObj, s.opts.Gap) {
+				break // the search terminates at this node next round
+			}
+			heap.Pop(h)
+			batch = append(batch, nd)
 		}
 
-		// Heuristic incumbent from this relaxation point: always at the
-		// root and whenever the incumbent is missing, and periodically
-		// thereafter so pruning keeps a fresh bound (cheap relative to the
-		// dives it prunes).
-		if !s.haveInc || s.nodes%64 == 1 {
-			s.roundingHeuristic(sol.X, nd.overrides)
-		}
+		sols, errs := s.solveBatch(batch)
 
-		lo, hi := boundsOf(branch, nd.overrides, s.rootLo, s.rootHi)
-		f := sol.X[branch]
-		down := cloneOverrides(nd.overrides)
-		down[branch] = bound{lo, math.Floor(f)}
-		up := cloneOverrides(nd.overrides)
-		up[branch] = bound{math.Ceil(f), hi}
-		heap.Push(h, &node{overrides: down, lpBound: sol.Objective})
-		heap.Push(h, &node{overrides: up, lpBound: sol.Objective})
+		// Commit sequentially in (bound, id) order; all search-state
+		// decisions are made here, so worker timing never leaks into the
+		// result.
+		for i, nd := range batch {
+			if s.haveInc && !better(nd.lpBound, s.incumbentObj, s.opts.Gap) {
+				// An incumbent committed earlier in this batch closed this
+				// node's gap: prune it. (Unlike the head-of-round check this
+				// cannot end the search — children pushed by earlier batch
+				// nodes may carry smaller bounds than nd and are still open.)
+				continue
+			}
+			s.nodes++
+
+			sol, err := sols[i], errs[i]
+			if err != nil || sol.Status == lp.IterationLimit {
+				continue // treat as unexplorable; bound stays conservative
+			}
+			if sol.Status != lp.Optimal {
+				continue // infeasible subtree
+			}
+			if s.haveInc && !better(sol.Objective, s.incumbentObj, s.opts.Gap) {
+				continue // dominated
+			}
+
+			branch := s.fractional(sol.X)
+			if branch < 0 {
+				s.accept(sol.X, sol.Objective)
+				continue
+			}
+
+			// Heuristic incumbent from this relaxation point: always at the
+			// root and whenever the incumbent is missing, and periodically
+			// thereafter so pruning keeps a fresh bound (cheap relative to
+			// the dives it prunes).
+			if !s.haveInc || s.nodes%64 == 1 {
+				s.roundingHeuristic(sol.X, nd.overrides)
+			}
+
+			lo, hi := boundsOf(branch, nd.overrides, s.rootLo, s.rootHi)
+			f := sol.X[branch]
+			down := cloneOverrides(nd.overrides)
+			down[branch] = bound{Lo: lo, Hi: math.Floor(f)}
+			up := cloneOverrides(nd.overrides)
+			up[branch] = bound{Lo: math.Ceil(f), Hi: hi}
+			heap.Push(h, &node{id: s.nextID, overrides: down, lpBound: sol.Objective})
+			heap.Push(h, &node{id: s.nextID + 1, overrides: up, lpBound: sol.Objective})
+			s.nextID += 2
+		}
 	}
 
 	if s.haveInc {

@@ -1,0 +1,171 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"ctdvs/internal/lp"
+)
+
+// dvsShaped builds a random MILP with the structure of the paper's DVS
+// formulation: groups of binary mode variables with an SOS1 equality each,
+// random positive energy objective, and a shared deadline-style budget row.
+// Coefficients are continuous random draws, so the optimum is unique almost
+// surely and the incumbent is pinned down for the serial-vs-parallel
+// comparison.
+func dvsShaped(rng *rand.Rand) *Problem {
+	groups := 3 + rng.Intn(5) // 3-7 edge groups
+	modes := 2 + rng.Intn(3)  // 2-4 modes per group
+	p := lp.NewProblem()
+	var ints []int
+	var sos [][]int
+	var budget []lp.Term
+	minT, maxT := 0.0, 0.0
+	for g := 0; g < groups; g++ {
+		row := make([]lp.Term, modes)
+		grp := make([]int, modes)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for m := 0; m < modes; m++ {
+			energy := rng.Float64()*9 + 1
+			v := p.AddVariable(energy, 0, 1)
+			row[m] = lp.Term{Var: v, Coef: 1}
+			grp[m] = v
+			ints = append(ints, v)
+			t := rng.Float64()*9 + 1
+			budget = append(budget, lp.Term{Var: v, Coef: t})
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+		p.MustAddConstraint(row, lp.EQ, 1)
+		sos = append(sos, grp)
+		minT += lo
+		maxT += hi
+	}
+	// A deadline strictly between the all-fastest and all-slowest totals, so
+	// the relaxation mixes modes and branching is exercised.
+	p.MustAddConstraint(budget, lp.LE, minT+(0.2+0.4*rng.Float64())*(maxT-minT))
+	return &Problem{LP: p, Integers: ints, SOS1: sos}
+}
+
+// TestParallelMatchesSerial solves randomized DVS-shaped MILPs with one and
+// with eight workers and requires identical status, objective, and solution
+// vector under the deterministic (bound, node-id) tie-break.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		prob := dvsShaped(rng)
+		serial, err := Solve(prob, &Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		par, err := Solve(prob, &Options{Workers: 8})
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		if serial.Status != par.Status {
+			t.Fatalf("trial %d: status serial=%v parallel=%v", trial, serial.Status, par.Status)
+		}
+		if serial.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal", trial, serial.Status)
+		}
+		if d := math.Abs(serial.Objective - par.Objective); d > 1e-9 {
+			t.Errorf("trial %d: objective serial=%v parallel=%v (Δ=%g)",
+				trial, serial.Objective, par.Objective, d)
+		}
+		if len(serial.X) != len(par.X) {
+			t.Fatalf("trial %d: solution lengths differ: %d vs %d", trial, len(serial.X), len(par.X))
+		}
+		for j := range serial.X {
+			if math.Abs(serial.X[j]-par.X[j]) > 1e-9 {
+				t.Errorf("trial %d: x[%d] serial=%v parallel=%v", trial, j, serial.X[j], par.X[j])
+			}
+		}
+	}
+}
+
+// TestParallelReproducible solves the same problem twice at the same worker
+// count and requires bit-identical results: batch formation and commit order
+// depend only on queue state, never on worker timing.
+func TestParallelReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		prob := dvsShaped(rng)
+		a, err := Solve(prob, &Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(prob, &Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Status != b.Status || a.Objective != b.Objective ||
+			a.Nodes != b.Nodes || a.LPIters != b.LPIters {
+			t.Fatalf("trial %d: runs differ: %+v vs %+v", trial, a, b)
+		}
+		for j := range a.X {
+			if a.X[j] != b.X[j] {
+				t.Fatalf("trial %d: x[%d] differs across runs: %v vs %v", trial, j, a.X[j], b.X[j])
+			}
+		}
+	}
+}
+
+// bigKnapsack builds a problem large enough that limits fire mid-search.
+func bigKnapsack(n int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := lp.NewProblem()
+	var bins []int
+	var terms []lp.Term
+	for j := 0; j < n; j++ {
+		v := p.AddVariable(rng.Float64()-0.5, 0, 1)
+		bins = append(bins, v)
+		terms = append(terms, lp.Term{Var: v, Coef: rng.Float64()})
+	}
+	p.MustAddConstraint(terms, lp.LE, float64(n)/4)
+	return &Problem{LP: p, Integers: bins}
+}
+
+// TestParallelCancellation interrupts parallel solves via TimeLimit and
+// MaxNodes and checks for a clean shutdown: the solve returns promptly and
+// every pool worker exits before Solve does (no goroutine leak).
+func TestParallelCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, opts := range []*Options{
+		{Workers: 8, TimeLimit: 2 * time.Millisecond},
+		{Workers: 8, MaxNodes: 5},
+	} {
+		done := make(chan *Result, 1)
+		go func() {
+			res, err := Solve(bigKnapsack(60, 11), opts)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- res
+		}()
+		select {
+		case res := <-done:
+			switch res.Status {
+			case Optimal, Feasible, NoSolution:
+			default:
+				t.Errorf("opts %+v: unexpected status %v", opts, res.Status)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("opts %+v: solve did not return after cancellation", opts)
+		}
+	}
+	// Workers are joined before Solve returns; give the test goroutines a
+	// moment to unwind, then require the goroutine count back near baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

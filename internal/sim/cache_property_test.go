@@ -52,6 +52,7 @@ func (r *refCache) access(addr uint64) bool {
 // reference model with identical random access streams (mixing sequential
 // runs and random jumps) and requires hit/miss agreement on every access.
 func TestCacheMatchesReferenceModel(t *testing.T) {
+	t.Parallel()
 	cfgs := []CacheConfig{
 		{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 16, LatencyCycles: 1},
 		{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 32, LatencyCycles: 1},
@@ -88,6 +89,7 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 
 // TestCacheResetForgets checks reset() leaves no resident lines.
 func TestCacheResetForgets(t *testing.T) {
+	t.Parallel()
 	cc := CacheConfig{SizeBytes: 1 << 10, Assoc: 2, LineBytes: 16, LatencyCycles: 1}
 	c := newCache(cc)
 	for a := uint64(0); a < 1024; a += 4 {

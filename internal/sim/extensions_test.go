@@ -23,6 +23,7 @@ func missBurst(trips int) *ir.Program {
 }
 
 func TestMemChannelsOverlapMisses(t *testing.T) {
+	t.Parallel()
 	prog := missBurst(2000)
 	in := ir.Input{Name: "x", Seed: 5}
 
@@ -53,6 +54,7 @@ func TestMemChannelsOverlapMisses(t *testing.T) {
 }
 
 func TestMemChannelsSingleMatchesDefault(t *testing.T) {
+	t.Parallel()
 	// MemChannels == 1 must be bit-identical to the paper's serialized model.
 	prog := missBurst(500)
 	in := ir.Input{Name: "x", Seed: 9}
@@ -74,6 +76,7 @@ func TestMemChannelsSingleMatchesDefault(t *testing.T) {
 }
 
 func TestLeakageEnergy(t *testing.T) {
+	t.Parallel()
 	prog := missBurst(500)
 	in := ir.Input{Name: "x", Seed: 3}
 
@@ -106,6 +109,7 @@ func TestLeakageEnergy(t *testing.T) {
 }
 
 func TestLeakagePenalizesSlowRuns(t *testing.T) {
+	t.Parallel()
 	// The race-to-idle effect: with enough leakage, running slower (longer)
 	// stops being a clear energy win.
 	prog := missBurst(500)
@@ -128,6 +132,7 @@ func TestLeakagePenalizesSlowRuns(t *testing.T) {
 }
 
 func TestNewConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := DefaultConfig()
 	bad.MemChannels = 0
 	if err := bad.Validate(); err == nil {

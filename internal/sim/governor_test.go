@@ -25,6 +25,7 @@ func phased(trips int) *ir.Program {
 }
 
 func TestUtilizationGovernorAdapts(t *testing.T) {
+	t.Parallel()
 	prog := phased(4000)
 	in := ir.Input{Name: "x", Seed: 11}
 	ms := volt.XScale3()
@@ -56,6 +57,7 @@ func TestUtilizationGovernorAdapts(t *testing.T) {
 }
 
 func TestMissRateGovernor(t *testing.T) {
+	t.Parallel()
 	prog := phased(4000)
 	in := ir.Input{Name: "x", Seed: 11}
 	ms := volt.XScale3()
@@ -80,6 +82,7 @@ func TestMissRateGovernor(t *testing.T) {
 }
 
 func TestGovernorControlFlowUnchanged(t *testing.T) {
+	t.Parallel()
 	// Run-time DVS must not alter the executed path (paper assumption 1).
 	prog := phased(1000)
 	in := ir.Input{Name: "x", Seed: 4}
@@ -106,6 +109,7 @@ func TestGovernorControlFlowUnchanged(t *testing.T) {
 }
 
 func TestRunGovernedValidation(t *testing.T) {
+	t.Parallel()
 	prog := phased(10)
 	ms := volt.XScale3()
 	m := MustNew(DefaultConfig())
@@ -125,6 +129,7 @@ func TestRunGovernedValidation(t *testing.T) {
 }
 
 func TestIntervalStatsUtilization(t *testing.T) {
+	t.Parallel()
 	s := IntervalStats{WallUS: 100, StallUS: 25}
 	if u := s.Utilization(); u != 0.75 {
 		t.Errorf("utilization = %v", u)
@@ -138,6 +143,7 @@ func TestIntervalStatsUtilization(t *testing.T) {
 }
 
 func TestDeadlineGovernorPacesToDeadline(t *testing.T) {
+	t.Parallel()
 	prog := phased(4000)
 	in := ir.Input{Name: "x", Seed: 11}
 	ms := volt.XScale3()
@@ -171,6 +177,7 @@ func TestDeadlineGovernorPacesToDeadline(t *testing.T) {
 }
 
 func TestDeadlineGovernorSprintsWhenLate(t *testing.T) {
+	t.Parallel()
 	ms := volt.XScale3()
 	g := &DeadlineGovernor{Modes: ms, TotalCycles: 1 << 30, DeadlineUS: 10}
 	// Consume the whole deadline with little progress: must pick fastest.

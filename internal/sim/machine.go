@@ -68,7 +68,10 @@ type Schedule struct {
 }
 
 // Machine simulates ir programs under a fixed configuration. A Machine may
-// be reused across runs; each run resets microarchitectural state.
+// be reused across runs; each run resets microarchitectural state. A Machine
+// is NOT safe for concurrent use — the caches and predictor are per-machine
+// mutable state — so parallel callers must build (or pool) one Machine per
+// goroutine; see exp.Config for an example.
 type Machine struct {
 	cfg  Config
 	l1   *cache

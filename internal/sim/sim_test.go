@@ -54,6 +54,7 @@ func run(t *testing.T, p *ir.Program, m volt.Mode) *Result {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	p := memLoop(500, 1<<22, true)
 	a := run(t, p, mode800())
 	b := run(t, p, mode800())
@@ -63,6 +64,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestPureComputeScalesWithFrequency(t *testing.T) {
+	t.Parallel()
 	p := computeOnly(100, 50)
 	hi := run(t, p, mode800())
 	lo := run(t, p, mode200())
@@ -80,6 +82,7 @@ func TestPureComputeScalesWithFrequency(t *testing.T) {
 }
 
 func TestMemoryTimeInvariantAcrossModes(t *testing.T) {
+	t.Parallel()
 	p := memLoop(2000, 1<<24, true) // large random working set → misses
 	hi := run(t, p, mode800())
 	lo := run(t, p, mode200())
@@ -101,6 +104,7 @@ func TestMemoryTimeInvariantAcrossModes(t *testing.T) {
 }
 
 func TestSmallWorkingSetHitsInL1(t *testing.T) {
+	t.Parallel()
 	p := memLoop(5000, 4<<10, false) // 4 KB sequential fits in L1
 	res := run(t, p, mode800())
 	if res.MemMisses > 200 { // only cold misses (128 lines) plus noise
@@ -112,6 +116,7 @@ func TestSmallWorkingSetHitsInL1(t *testing.T) {
 }
 
 func TestHugeRandomWorkingSetMisses(t *testing.T) {
+	t.Parallel()
 	p := memLoop(3000, 64<<20, true)
 	res := run(t, p, mode800())
 	if float64(res.MemMisses) < 0.8*float64(res.L1Hits+res.L2Hits+res.MemMisses) {
@@ -124,6 +129,7 @@ func TestHugeRandomWorkingSetMisses(t *testing.T) {
 }
 
 func TestOverlapHidesMissLatency(t *testing.T) {
+	t.Parallel()
 	// One miss plus lots of independent compute: the compute should hide
 	// much of the miss latency.
 	b := ir.NewBuilder("overlap")
@@ -157,6 +163,7 @@ func TestOverlapHidesMissLatency(t *testing.T) {
 }
 
 func TestEdgeAndPathCounts(t *testing.T) {
+	t.Parallel()
 	const trips = 7
 	p := memLoop(trips, 1<<12, false)
 	res := run(t, p, mode800())
@@ -190,6 +197,7 @@ func TestEdgeAndPathCounts(t *testing.T) {
 }
 
 func TestBlockTimeSumsToTotal(t *testing.T) {
+	t.Parallel()
 	p := memLoop(100, 1<<16, false)
 	res := run(t, p, mode800())
 	sumT, sumE := 0.0, 0.0
@@ -206,6 +214,7 @@ func TestBlockTimeSumsToTotal(t *testing.T) {
 }
 
 func TestProbBranchRespondsToInput(t *testing.T) {
+	t.Parallel()
 	b := ir.NewBuilder("branchy")
 	x := b.Block("x")
 	hot := b.Block("hot")
@@ -245,6 +254,7 @@ func TestProbBranchRespondsToInput(t *testing.T) {
 }
 
 func TestTripOverride(t *testing.T) {
+	t.Parallel()
 	p := computeOnly(10, 100)
 	mach := MustNew(DefaultConfig())
 	long, err := mach.Run(p, ir.Input{Name: "long", Seed: 1, Trips: map[int]int{0: 50}}, mode800())
@@ -258,6 +268,7 @@ func TestTripOverride(t *testing.T) {
 }
 
 func TestBranchPredictorAccounting(t *testing.T) {
+	t.Parallel()
 	// A strongly biased loop branch should predict well; an alternating one
 	// should not.
 	p := computeOnly(10000, 2)
@@ -287,6 +298,7 @@ func TestBranchPredictorAccounting(t *testing.T) {
 }
 
 func TestDVSSameModeEverywhereMatchesFixedRun(t *testing.T) {
+	t.Parallel()
 	p := memLoop(300, 1<<18, false)
 	mach := MustNew(DefaultConfig())
 	ms := volt.XScale3()
@@ -318,6 +330,7 @@ func TestDVSSameModeEverywhereMatchesFixedRun(t *testing.T) {
 }
 
 func TestDVSTransitionCosts(t *testing.T) {
+	t.Parallel()
 	// Alternate modes on the back edge vs loop exit: every iteration of the
 	// loop body switches mode.
 	b := ir.NewBuilder("switchy")
@@ -363,6 +376,7 @@ func TestDVSTransitionCosts(t *testing.T) {
 }
 
 func TestDVSScheduleValidation(t *testing.T) {
+	t.Parallel()
 	p := computeOnly(2, 2)
 	mach := MustNew(DefaultConfig())
 	ms := volt.XScale3()
@@ -379,6 +393,7 @@ func TestDVSScheduleValidation(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
@@ -411,6 +426,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestParamsClassification(t *testing.T) {
+	t.Parallel()
 	p := memLoop(1000, 1<<12, false)
 	res := run(t, p, mode800())
 	// Body: 20 independent + 10 dependent cycles per iteration, plus 1 at
@@ -428,6 +444,7 @@ func TestParamsClassification(t *testing.T) {
 }
 
 func TestFormatParams(t *testing.T) {
+	t.Parallel()
 	s := FormatParams(Params{NCache: 732700, NOverlap: 735600, NDependent: 4302000, TInvariantUS: 915.9})
 	want := "Ncache=732.7K cycles, Noverlap=735.6K cycles, Ndependent=4302.0K cycles, tinvariant=915.9µs"
 	if s != want {
@@ -436,6 +453,7 @@ func TestFormatParams(t *testing.T) {
 }
 
 func TestCacheLRU(t *testing.T) {
+	t.Parallel()
 	// Direct unit test of the cache structure: 2 sets, 2 ways, 16 B lines.
 	c := newCache(CacheConfig{SizeBytes: 64, Assoc: 2, LineBytes: 16, LatencyCycles: 1})
 	// Addresses mapping to set 0: lines 0, 2, 4 (line = addr>>4).
@@ -465,6 +483,7 @@ func TestCacheLRU(t *testing.T) {
 }
 
 func TestPredictorLearnsBias(t *testing.T) {
+	t.Parallel()
 	p := newPredictor(16)
 	correct := 0
 	for i := 0; i < 100; i++ {
