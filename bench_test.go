@@ -26,6 +26,7 @@ import (
 	"ctdvs/internal/lp"
 	"ctdvs/internal/milp"
 	"ctdvs/internal/paths"
+	"ctdvs/internal/pipeline"
 	"ctdvs/internal/profile"
 	"ctdvs/internal/sim"
 	"ctdvs/internal/volt"
@@ -561,6 +562,85 @@ func BenchmarkExpPipeline(b *testing.B) {
 		if _, err := exp.DeadlineSweep(c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// pipelineBenchRecord is the schema of BENCH_pipeline.json.
+type pipelineBenchRecord struct {
+	Experiment string  `json:"experiment"`
+	Scale      float64 `json:"scale"`
+	ColdNsOp   float64 `json:"cold_ns_per_op"`
+	WarmNsOp   float64 `json:"warm_ns_per_op"`
+	Speedup    float64 `json:"speedup_cold_vs_warm"`
+	AllHits    bool    `json:"warm_all_hits"`
+	DiskHits   int     `json:"warm_disk_hits"`
+}
+
+// sweepWithStore runs the deadline sweep on a fresh config backed by the
+// given artifact store, returning the config for manifest inspection.
+func sweepWithStore(b *testing.B, store *pipeline.Store) *exp.Config {
+	b.Helper()
+	c := exp.NewConfig(benchScale)
+	c.MILP = &milp.Options{TimeLimit: 2 * time.Minute}
+	c.Pipeline = pipeline.NewRunner(store)
+	if _, err := exp.DeadlineSweep(c); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkPipelineColdVsWarm measures what the artifact store buys: one cold
+// deadline sweep populates a store, then each timed iteration replays the
+// sweep from a process-fresh config over the same store — zero profile
+// collections, zero MILP solves. The cold/warm record lands in
+// BENCH_pipeline.json.
+func BenchmarkPipelineColdVsWarm(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ctdvs-bench-cache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := pipeline.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	coldStart := time.Now()
+	sweepWithStore(b, store)
+	coldNs := float64(time.Since(coldStart).Nanoseconds())
+
+	b.ResetTimer()
+	var warm *exp.Config
+	for i := 0; i < b.N; i++ {
+		warm = sweepWithStore(b, store)
+	}
+	b.StopTimer()
+
+	man := warm.Pipeline.Manifest()
+	if !man.AllHits() {
+		b.Fatal("warm sweep recomputed stages")
+	}
+	disk := 0
+	for _, s := range man.Stats() {
+		disk += s.DiskHits
+	}
+	warmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	rec := pipelineBenchRecord{
+		Experiment: "deadline-sweep",
+		Scale:      benchScale,
+		ColdNsOp:   coldNs,
+		WarmNsOp:   warmNs,
+		Speedup:    coldNs / warmNs,
+		AllHits:    true,
+		DiskHits:   disk,
+	}
+	b.ReportMetric(rec.Speedup, "speedup-cold-vs-warm")
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

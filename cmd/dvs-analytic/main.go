@@ -1,7 +1,9 @@
 // Command dvs-analytic explores the paper's Section 3 analytical model for a
 // single parameter set: it reports the continuous-voltage optimum, the
 // discrete optimum for 3/7/13 voltage levels, the single-frequency baselines,
-// and the resulting energy-saving ratios.
+// and the resulting energy-saving ratios. The rendered report is itself a
+// pipeline artifact keyed by the parameter set, so with -cache-dir a repeated
+// invocation is a pure cache read.
 //
 // Usage:
 //
@@ -12,15 +14,32 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 
+	"ctdvs/cmd/internal/cli"
 	"ctdvs/internal/analytic"
+	"ctdvs/internal/pipeline"
 	"ctdvs/internal/volt"
 )
 
+// kindAnalytic caches rendered reports alongside the simulator/solver stages.
+const kindAnalytic = pipeline.Kind("analytic")
+
+var reportStage = pipeline.Stage[string]{
+	Kind:   kindAnalytic,
+	Encode: func(s string) ([]byte, error) { return json.Marshal(s) },
+	Decode: func(data []byte) (string, error) {
+		var s string
+		err := json.Unmarshal(data, &s)
+		return s, err
+	},
+}
+
 func main() {
+	app := cli.New("dvs-analytic")
 	nOverlap := flag.Float64("noverlap", 4e6, "overlap computation cycles")
 	nDependent := flag.Float64("ndependent", 5.8e6, "dependent computation cycles")
 	nCache := flag.Float64("ncache", 3e5, "cache-hit memory cycles")
@@ -28,7 +47,7 @@ func main() {
 	deadline := flag.Float64("deadline", 16000, "deadline (µs)")
 	vLo := flag.Float64("vlo", 0.7, "continuous range low voltage (V)")
 	vHi := flag.Float64("vhi", 1.65, "continuous range high voltage (V)")
-	flag.Parse()
+	app.Parse()
 
 	p := analytic.Params{
 		NOverlap:   *nOverlap,
@@ -38,59 +57,77 @@ func main() {
 		DeadlineUS: *deadline,
 	}
 	if err := p.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "dvs-analytic:", err)
-		os.Exit(1)
+		app.Die(err)
 	}
 	vr := analytic.VRange{Lo: *vLo, Hi: *vHi, Scaling: volt.DefaultScaling()}
 
-	fmt.Printf("parameters: Noverlap=%.0f Ndependent=%.0f Ncache=%.0f cycles, tinvariant=%.1fµs, deadline=%.1fµs\n",
+	key := pipeline.NewKey(kindAnalytic).
+		Float("noverlap", p.NOverlap).
+		Float("ndependent", p.NDependent).
+		Float("ncache", p.NCache).
+		Float("tinvariant", p.TInvariant).
+		Float("deadline", p.DeadlineUS).
+		Float("vlo", vr.Lo).
+		Float("vhi", vr.Hi).
+		Sum()
+	out, err := pipeline.Run(app.Runner(), reportStage, key, func() (string, error) {
+		return report(p, vr)
+	})
+	if err != nil {
+		app.Die(err)
+	}
+	fmt.Print(out)
+	app.Close()
+}
+
+// report renders the full analysis for one parameter set.
+func report(p analytic.Params, vr analytic.VRange) (string, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "parameters: Noverlap=%.0f Ndependent=%.0f Ncache=%.0f cycles, tinvariant=%.1fµs, deadline=%.1fµs\n",
 		p.NOverlap, p.NDependent, p.NCache, p.TInvariant, p.DeadlineUS)
-	fmt.Printf("derived:    f_invariant=%.1f MHz, f_ideal=%.1f MHz, T(f_max)=%.1f µs\n\n",
+	fmt.Fprintf(&b, "derived:    f_invariant=%.1f MHz, f_ideal=%.1f MHz, T(f_max)=%.1f µs\n\n",
 		p.FInvariant(), p.FIdeal(), p.ExecTimeUS(vr.FHi()))
 
 	// Continuous case.
 	bv, bf, be, err := analytic.BaselineContinuous(p, vr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvs-analytic: continuous baseline:", err)
-		os.Exit(1)
+		return "", fmt.Errorf("continuous baseline: %w", err)
 	}
 	sol, err := analytic.OptimizeContinuous(p, vr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvs-analytic: continuous optimum:", err)
-		os.Exit(1)
+		return "", fmt.Errorf("continuous optimum: %w", err)
 	}
 	save, _ := analytic.SavingsContinuous(p, vr)
-	fmt.Printf("continuous [%.2fV..%.2fV]:\n", vr.Lo, vr.Hi)
-	fmt.Printf("  baseline: v=%.3fV f=%.1fMHz E=%.4g V²·cycles\n", bv, bf, be)
-	fmt.Printf("  optimum:  v1=%.3fV (f1=%.1fMHz) v2=%.3fV (f2=%.1fMHz) E=%.4g (%s)\n",
+	fmt.Fprintf(&b, "continuous [%.2fV..%.2fV]:\n", vr.Lo, vr.Hi)
+	fmt.Fprintf(&b, "  baseline: v=%.3fV f=%.1fMHz E=%.4g V²·cycles\n", bv, bf, be)
+	fmt.Fprintf(&b, "  optimum:  v1=%.3fV (f1=%.1fMHz) v2=%.3fV (f2=%.1fMHz) E=%.4g (%s)\n",
 		sol.V1, sol.F1, sol.V2, sol.F2, sol.EnergyVC, sol.Case)
-	fmt.Printf("  energy-saving ratio: %.4f\n\n", save)
+	fmt.Fprintf(&b, "  energy-saving ratio: %.4f\n\n", save)
 
 	// Discrete cases.
 	for _, levels := range []int{3, 7, 13} {
 		ms, err := volt.Levels(levels)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dvs-analytic:", err)
-			os.Exit(1)
+			return "", err
 		}
 		mode, baseE, ok := analytic.BaselineDiscrete(p, ms)
 		if !ok {
-			fmt.Printf("discrete %2d levels: deadline infeasible even at %v\n", levels, ms.Max())
+			fmt.Fprintf(&b, "discrete %2d levels: deadline infeasible even at %v\n", levels, ms.Max())
 			continue
 		}
 		dsol, err := analytic.OptimizeDiscrete(p, ms)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvs-analytic: discrete %d levels: %v\n", levels, err)
-			os.Exit(1)
+			return "", fmt.Errorf("discrete %d levels: %w", levels, err)
 		}
 		s, _ := analytic.SavingsDiscrete(p, ms)
-		fmt.Printf("discrete %2d levels: baseline %v (E=%.4g), optimum E=%.4g, savings %.4f, modes used %d\n",
+		fmt.Fprintf(&b, "discrete %2d levels: baseline %v (E=%.4g), optimum E=%.4g, savings %.4f, modes used %d\n",
 			levels, ms.Mode(mode), baseE, dsol.EnergyVC, s, dsol.ModesUsed)
 		for m := 0; m < ms.Len(); m++ {
 			if dsol.X[m] > 1 || dsol.Y[m] > 1 {
-				fmt.Printf("    %v: overlap %.0f cycles (cache %.0f), dependent %.0f cycles\n",
+				fmt.Fprintf(&b, "    %v: overlap %.0f cycles (cache %.0f), dependent %.0f cycles\n",
 					ms.Mode(m), dsol.X[m], dsol.XC[m], dsol.Y[m])
 			}
 		}
 	}
+	return b.String(), nil
 }

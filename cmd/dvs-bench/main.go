@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dvs-bench [-scale 1.0] [-exp all|table1,table6,fig15,...] [-grid 16] [-workers N]
+//	dvs-bench -cache-dir .dvs-cache -manifest run.json   # warm rerun: no sim, no MILP
 //
 // Run with -list for the experiment catalogue: the paper's tables 1/3/4/5/
 // 6/7 and figures 2-11/14/15/17/18/19, this reproduction's extensions
@@ -17,21 +18,21 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"ctdvs/cmd/internal/cli"
 	"ctdvs/internal/exp"
 	"ctdvs/internal/milp"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-comparable)")
+	app := cli.New("dvs-bench")
+	app.ScaleFlag()
+	app.SolveFlags()
 	expList := flag.String("exp", "all", "comma-separated experiment list, or 'all'")
 	gridN := flag.Int("grid", 16, "surface grid resolution for figures 5-11")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	solveLimit := flag.Duration("solve-limit", 2*time.Minute, "time limit per MILP solve")
-	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	flag.Parse()
+	app.Parse()
 
 	if *list {
 		fmt.Println("paper:      table1 table3 table4 table5 table6 table7")
@@ -43,9 +44,9 @@ func main() {
 		return
 	}
 
-	cfg := exp.NewConfig(*scale)
-	cfg.MILP = &milp.Options{TimeLimit: *solveLimit}
-	cfg.Workers = *workers
+	cfg := app.Config()
+	cfg.MILP = &milp.Options{TimeLimit: app.SolveLimit}
+	cfg.Workers = app.Workers
 
 	selected := map[string]bool{}
 	all := *expList == "all"
@@ -197,7 +198,7 @@ func main() {
 		show(exp.RenderAblation("Ablation: edge-based vs block-based mode variables", rows))
 	}
 	if selected["scaling"] { // opt-in: several minutes of MILP solves
-		rows, err := exp.SolverScaling(cfg, 4, 40, []int{2, 4, 6, 8}, *solveLimit)
+		rows, err := exp.SolverScaling(cfg, 4, 40, []int{2, 4, 6, 8}, app.SolveLimit)
 		if err != nil {
 			fail("scaling", err)
 		}
@@ -238,4 +239,5 @@ func main() {
 		}
 		show(exp.RenderLeakage(rows))
 	}
+	app.Close()
 }

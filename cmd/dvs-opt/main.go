@@ -1,12 +1,16 @@
 // Command dvs-opt runs the MILP DVS optimizer on one benchmark and reports
 // the chosen schedule, solver statistics, and the measured outcome against
-// the best single-frequency baseline.
+// the best single-frequency baseline. With -cache-dir, the profile, the
+// solve and the validation runs are content-addressed artifacts: repeating
+// an invocation (or re-measuring a schedule dvs-bench already produced)
+// touches neither the simulator nor the solver.
 //
 // Usage:
 //
 //	dvs-opt -bench gsm/encode -deadline 3          # paper deadline number 1-5
 //	dvs-opt -bench gsm/encode -deadline-us 90000   # explicit deadline in µs
 //	dvs-opt -bench mpeg/decode -levels 7 -cap 1e-6 -no-filter
+//	dvs-opt -bench epic -cache-dir .dvs-cache -manifest run.json
 package main
 
 import (
@@ -15,20 +19,20 @@ import (
 	"os"
 	"time"
 
+	"ctdvs/cmd/internal/cli"
 	"ctdvs/internal/core"
 	"ctdvs/internal/exp"
 	"ctdvs/internal/milp"
-	"ctdvs/internal/profile"
 	"ctdvs/internal/schedfile"
-	"ctdvs/internal/sim"
 	"ctdvs/internal/volt"
-	"ctdvs/internal/workloads"
 )
 
 func main() {
+	app := cli.New("dvs-opt")
+	app.ScaleFlag()
+	app.SolveFlags()
 	bench := flag.String("bench", "adpcm/encode", "benchmark name")
 	input := flag.Int("input", 0, "input index")
-	scale := flag.Float64("scale", 1.0, "workload scale")
 	levels := flag.Int("levels", 3, "voltage levels (3, 7 or 13)")
 	deadlineNum := flag.Int("deadline", 3, "paper deadline number (1=tight .. 5=lax)")
 	deadlineUS := flag.Float64("deadline-us", 0, "explicit deadline in µs (overrides -deadline)")
@@ -36,45 +40,25 @@ func main() {
 	noFilter := flag.Bool("no-filter", false, "disable 2% edge filtering")
 	noTrans := flag.Bool("no-transition-costs", false, "Saputra-style: ignore switching costs in the MILP")
 	blockBased := flag.Bool("block-based", false, "block-granularity mode variables")
-	solveLimit := flag.Duration("solve-limit", 2*time.Minute, "MILP time limit")
-	workers := flag.Int("workers", 0, "branch-and-bound workers (0 = GOMAXPROCS, 1 = serial)")
 	showSchedule := flag.Bool("schedule", false, "print the per-edge mode assignment")
 	showPlacement := flag.Bool("placement", false, "classify mode-set instructions (required/silent/hoistable)")
 	savePath := flag.String("save", "", "write the schedule to this file (dvs-sim executes it)")
-	flag.Parse()
+	app.Parse()
 
-	die := func(err error) {
-		fmt.Fprintln(os.Stderr, "dvs-opt:", err)
-		os.Exit(1)
-	}
-
-	var spec *workloads.Spec
-	for _, s := range workloads.All(*scale) {
-		if s.Name == *bench {
-			spec = s
-		}
-	}
-	if spec == nil {
-		die(fmt.Errorf("unknown benchmark %q", *bench))
-	}
-	if *input < 0 || *input >= len(spec.Inputs) {
-		die(fmt.Errorf("%s has inputs 0..%d", *bench, len(spec.Inputs)-1))
-	}
-	ms, err := volt.Levels(*levels)
+	cfg := app.Config()
+	spec, err := cfg.Spec(*bench)
 	if err != nil {
-		die(err)
+		app.Die(err)
 	}
-
-	m := sim.MustNew(sim.DefaultConfig())
-	pr, err := profile.Collect(m, spec.Program, spec.Inputs[*input], ms)
+	pr, err := cfg.Profile(*bench, *input, *levels)
 	if err != nil {
-		die(err)
+		app.Die(err)
 	}
 
 	dl := *deadlineUS
 	if dl == 0 {
 		if *deadlineNum < 1 || *deadlineNum > 5 {
-			die(fmt.Errorf("deadline number must be 1..5"))
+			app.Dief("deadline number must be 1..5")
 		}
 		n := pr.Modes.Len()
 		dl = spec.Deadline(*deadlineNum, pr.TotalTimeUS[n-1], pr.TotalTimeUS[0])
@@ -85,15 +69,15 @@ func main() {
 		Regulator:         reg,
 		NoTransitionCosts: *noTrans,
 		BlockBased:        *blockBased,
-		MILP:              &milp.Options{TimeLimit: *solveLimit, Workers: *workers},
+		MILP:              &milp.Options{TimeLimit: app.SolveLimit, Workers: app.Workers},
 	}
 	if *noFilter {
 		opts.FilterTail = -1
 	}
 
-	res, err := core.OptimizeSingle(pr, dl, opts)
+	res, err := cfg.OptimizeSingle(pr, dl, opts)
 	if err != nil {
-		die(err)
+		app.Die(err)
 	}
 
 	fmt.Printf("%s input %q: deadline %.1f µs, %d voltage levels, c=%.2g F\n",
@@ -105,9 +89,9 @@ func main() {
 	fmt.Printf("predicted: energy %.1f µJ, time %.1f µs\n",
 		res.PredictedEnergyUJ, res.PredictedTimeUS[0])
 
-	ev, err := core.Evaluate(m, pr, res.Schedule, dl)
+	ev, err := cfg.Measure(pr, res.Schedule, dl)
 	if err != nil {
-		die(err)
+		app.Die(err)
 	}
 	fmt.Printf("measured:  energy %.1f µJ, time %.1f µs, %d transitions "+
 		"(%.2f µJ / %.2f µs in switches), meets deadline: %v\n",
@@ -116,9 +100,9 @@ func main() {
 
 	mode, baseE, ok := pr.BestSingleMode(dl)
 	if ok {
-		s, err := core.SavingsVsBestSingle(m, pr, res.Schedule, dl, reg)
+		s, err := cfg.Savings(pr, res.Schedule, dl, reg)
 		if err != nil {
-			die(err)
+			app.Die(err)
 		}
 		fmt.Printf("baseline:  best single mode %v, energy %.1f µJ → savings %.4f\n",
 			pr.Modes.Mode(mode), baseE, s)
@@ -127,14 +111,14 @@ func main() {
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
-			die(err)
+			app.Die(err)
 		}
 		if err := schedfile.Save(f, spec.Name, res.Schedule); err != nil {
 			f.Close()
-			die(err)
+			app.Die(err)
 		}
 		if err := f.Close(); err != nil {
-			die(err)
+			app.Die(err)
 		}
 		fmt.Printf("schedule written to %s\n", *savePath)
 	}
@@ -162,7 +146,8 @@ func main() {
 			})
 		}
 		if err := st.Render(os.Stdout); err != nil {
-			die(err)
+			app.Die(err)
 		}
 	}
+	app.Close()
 }

@@ -1,6 +1,8 @@
 // Command dvs-prof profiles one benchmark of the synthetic MediaBench suite
 // and prints its Table 7 parameters, fixed-mode runtimes/energies, deadline
-// positions, and per-block profile.
+// positions, and per-block profile. With -cache-dir, the profile itself is a
+// content-addressed artifact shared with dvs-opt and dvs-bench: a benchmark
+// profiled once is never simulated again.
 //
 // Usage:
 //
@@ -12,74 +14,40 @@ import (
 	"fmt"
 	"os"
 
-	"ctdvs/internal/cfg"
+	"ctdvs/cmd/internal/cli"
 	"ctdvs/internal/exp"
 	"ctdvs/internal/paths"
-	"ctdvs/internal/profile"
 	"ctdvs/internal/sim"
-	"ctdvs/internal/volt"
 	"ctdvs/internal/workloads"
 )
 
 func main() {
+	app := cli.New("dvs-prof")
+	app.ScaleFlag()
 	bench := flag.String("bench", "adpcm/encode", "benchmark name")
 	input := flag.Int("input", 0, "input index (mpeg/decode has 4)")
-	scale := flag.Float64("scale", 1.0, "workload scale")
 	levels := flag.Int("levels", 3, "voltage levels (3, 7 or 13)")
 	blocks := flag.Bool("blocks", false, "print the per-block profile")
 	hotPaths := flag.Int("hot-paths", 0, "print the N hottest Ball-Larus acyclic paths")
-	flag.Parse()
+	app.Parse()
 
-	var spec *workloads.Spec
-	for _, s := range workloads.All(*scale) {
-		if s.Name == *bench {
-			spec = s
-		}
-	}
-	if spec == nil {
+	cfg := app.Config()
+	spec, err := cfg.Spec(*bench)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvs-prof: unknown benchmark %q; available:\n", *bench)
-		for _, s := range workloads.All(*scale) {
+		for _, s := range workloads.All(app.Scale) {
 			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
 		}
 		os.Exit(1)
 	}
-	if *input < 0 || *input >= len(spec.Inputs) {
-		fmt.Fprintf(os.Stderr, "dvs-prof: %s has inputs 0..%d\n", *bench, len(spec.Inputs)-1)
-		os.Exit(1)
-	}
-	ms, err := volt.Levels(*levels)
+
+	pr, err := cfg.Profile(*bench, *input, *levels)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvs-prof:", err)
-		os.Exit(1)
+		app.Die(err)
 	}
+	ms := pr.Modes
 
-	m := sim.MustNew(sim.DefaultConfig())
-
-	var tracer *paths.Tracer
-	var numbering *paths.Numbering
-	if *hotPaths > 0 {
-		g, err := cfg.FromProgram(spec.Program)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dvs-prof:", err)
-			os.Exit(1)
-		}
-		numbering, err = paths.New(g)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dvs-prof:", err)
-			os.Exit(1)
-		}
-		tracer = numbering.NewTracer()
-		m.EdgeHook = tracer.Edge
-	}
-
-	pr, err := profile.Collect(m, spec.Program, spec.Inputs[*input], ms)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvs-prof:", err)
-		os.Exit(1)
-	}
-	m.EdgeHook = nil
-
-	fmt.Printf("%s, input %q, scale %g\n", spec.Name, spec.Inputs[*input].Name, *scale)
+	fmt.Printf("%s, input %q, scale %g\n", spec.Name, spec.Inputs[*input].Name, app.Scale)
 	fmt.Printf("parameters: %s\n\n", sim.FormatParams(pr.Params))
 
 	runs := &exp.Table{
@@ -104,14 +72,26 @@ func main() {
 	fmt.Printf("graph: %d blocks, %d edges, %d local paths\n",
 		pr.Graph.NumBlocks, pr.Graph.NumEdges(), len(pr.Graph.Paths))
 
-	if tracer != nil {
+	if *hotPaths > 0 {
+		// Path tracing needs an edge hook on a live run, so it is the one
+		// part of this command the artifact cache cannot serve.
+		numbering, err := paths.New(pr.Graph)
+		if err != nil {
+			app.Die(err)
+		}
+		tracer := numbering.NewTracer()
+		cfg.Machine.EdgeHook = tracer.Edge
+		_, err = cfg.Machine.Run(spec.Program, spec.Inputs[*input], ms.Max())
+		cfg.Machine.EdgeHook = nil
+		if err != nil {
+			app.Die(err)
+		}
 		tracer.Finish()
 		hot, err := paths.Hot(numbering, tracer.Counts(), *hotPaths)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dvs-prof:", err)
-			os.Exit(1)
+			app.Die(err)
 		}
-		fmt.Printf("\nhot acyclic paths (Ball-Larus, over %d profiling runs):\n", ms.Len())
+		fmt.Printf("\nhot acyclic paths (Ball-Larus, one run at %v):\n", ms.Max())
 		for _, h := range hot {
 			fmt.Printf("  ×%-10d", h.Count)
 			for i, blk := range h.Blocks {
@@ -142,4 +122,5 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	app.Close()
 }

@@ -2,7 +2,9 @@
 // on the simulator, closing the toolchain loop: profile → optimize →
 // schedule file → execute. Running with a different input than the one the
 // schedule was optimized for reproduces the paper's cross-input experiments
-// (Section 6.4) from the command line.
+// (Section 6.4) from the command line. With -cache-dir, the execution is the
+// pipeline's validate stage: a schedule dvs-opt or dvs-bench already measured
+// is reported without re-simulating.
 //
 // Usage:
 //
@@ -15,58 +17,49 @@ import (
 	"fmt"
 	"os"
 
+	"ctdvs/cmd/internal/cli"
 	"ctdvs/internal/schedfile"
-	"ctdvs/internal/sim"
-	"ctdvs/internal/workloads"
 )
 
 func main() {
+	app := cli.New("dvs-sim")
+	app.ScaleFlag()
 	schedPath := flag.String("schedule", "", "schedule file written by dvs-opt -save")
 	input := flag.Int("input", 0, "input index to execute")
-	scale := flag.Float64("scale", 1.0, "workload scale (must match the profiling scale)")
 	deadlineUS := flag.Float64("deadline-us", 0, "optional deadline to check the run against (µs)")
-	flag.Parse()
+	app.Parse()
 
-	die := func(err error) {
-		fmt.Fprintln(os.Stderr, "dvs-sim:", err)
-		os.Exit(1)
-	}
 	if *schedPath == "" {
-		die(fmt.Errorf("-schedule is required"))
+		app.Dief("-schedule is required")
 	}
 	f, err := os.Open(*schedPath)
 	if err != nil {
-		die(err)
+		app.Die(err)
 	}
 	defer f.Close()
 	program, sched, err := schedfile.Load(f)
 	if err != nil {
-		die(err)
+		app.Die(err)
 	}
 
-	var spec *workloads.Spec
-	for _, s := range workloads.All(*scale) {
-		if s.Name == program {
-			spec = s
-		}
+	cfg := app.Config()
+	if _, err := cfg.Spec(program); err != nil {
+		app.Dief("schedule targets unknown benchmark %q", program)
 	}
-	if spec == nil {
-		die(fmt.Errorf("schedule targets unknown benchmark %q", program))
-	}
-	if *input < 0 || *input >= len(spec.Inputs) {
-		die(fmt.Errorf("%s has inputs 0..%d", program, len(spec.Inputs)-1))
-	}
-
-	m := sim.MustNew(sim.DefaultConfig())
-	res, err := m.RunDVS(spec.Program, spec.Inputs[*input], sched)
+	pr, err := cfg.Profile(program, *input, 3)
 	if err != nil {
-		die(err)
+		app.Die(err)
+	}
+	res, err := cfg.RunSchedule(pr, sched)
+	if err != nil {
+		app.Die(err)
 	}
 
-	fmt.Printf("%s input %q under %s:\n", program, spec.Inputs[*input].Name, *schedPath)
+	fmt.Printf("%s input %q under %s:\n", program, pr.Input.Name, *schedPath)
 	fmt.Printf("  time   %.1f µs\n", res.TimeUS)
 	fmt.Printf("  energy %.1f µJ (%.2f µJ in %d mode switches)\n",
 		res.EnergyUJ, res.TransitionEnergyUJ, res.Transitions)
+	app.Close()
 	if *deadlineUS > 0 {
 		ok := res.TimeUS <= *deadlineUS
 		fmt.Printf("  deadline %.1f µs: met=%v (slack %.1f µs)\n",

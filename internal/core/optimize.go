@@ -23,7 +23,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"ctdvs/internal/cfg"
@@ -92,78 +91,14 @@ type Result struct {
 var ErrInfeasible = errors.New("core: no schedule meets the deadline")
 
 // Optimize builds and solves the MILP for the given categories and returns
-// the optimal compile-time DVS schedule.
+// the optimal compile-time DVS schedule. It is the one-call composition of
+// the staged API in stages.go: Prepare → Filter → Formulate → Solve.
 func Optimize(cats []Category, opts *Options) (*Result, error) {
-	var o Options
-	if opts != nil {
-		o = *opts
-	}
-	if o.Regulator == (volt.Regulator{}) {
-		o.Regulator = volt.DefaultRegulator()
-	}
-	if err := o.Regulator.Validate(); err != nil {
-		return nil, err
-	}
-	if o.FilterTail == 0 {
-		o.FilterTail = 0.02
-	}
-	if len(cats) == 0 {
-		return nil, errors.New("core: no categories")
-	}
-	for i, c := range cats {
-		if c.Profile == nil {
-			return nil, fmt.Errorf("core: category %d has nil profile", i)
-		}
-	}
-	g := cats[0].Profile.Graph
-	modes := cats[0].Profile.Modes
-	wsum := 0.0
-	for i, c := range cats {
-		if c.Profile.Graph.NumEdges() != g.NumEdges() || c.Profile.Graph.NumBlocks != g.NumBlocks {
-			return nil, fmt.Errorf("core: category %d profiles a different program", i)
-		}
-		if c.Profile.Modes.Len() != modes.Len() {
-			return nil, fmt.Errorf("core: category %d uses a different mode set", i)
-		}
-		if c.Weight <= 0 {
-			return nil, fmt.Errorf("core: category %d has non-positive weight", i)
-		}
-		if c.DeadlineUS <= 0 {
-			return nil, fmt.Errorf("core: category %d has non-positive deadline", i)
-		}
-		wsum += c.Weight
-	}
-	// Normalize weights to probabilities.
-	norm := make([]Category, len(cats))
-	copy(norm, cats)
-	for i := range norm {
-		norm[i].Weight /= wsum
-	}
-
-	var uf *unionFind
-	switch {
-	case o.BlockBased:
-		uf = blockBasedGroups(norm[0].Profile)
-	case o.KeepIndependent != nil:
-		uf = filterKeep(norm, o.KeepIndependent)
-	default:
-		uf = filterEdges(norm, o.FilterTail)
-	}
-
-	f := buildFormulation(norm, modes, uf, o)
-	res, err := milp.Solve(f.problem, o.MILP)
+	prep, err := Prepare(cats, opts)
 	if err != nil {
 		return nil, err
 	}
-	switch res.Status {
-	case milp.Optimal, milp.Feasible:
-	case milp.Infeasible:
-		return nil, ErrInfeasible
-	default:
-		return nil, fmt.Errorf("core: solver stopped with status %v and no incumbent", res.Status)
-	}
-
-	return f.extract(res, norm, o)
+	return prep.Formulate(prep.Filter()).Solve()
 }
 
 // OptimizeSingle is Optimize for the common single-profile case.

@@ -37,7 +37,7 @@ func ablate(c *Config, reg volt.Regulator, variant func(pr *coreProfile) (*core.
 			return nil, err
 		}
 		dl := dls[2]
-		full, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+		full, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
 		if err != nil {
 			return nil, fmt.Errorf("%s full: %w", bench, err)
 		}
@@ -45,11 +45,11 @@ func ablate(c *Config, reg volt.Regulator, variant func(pr *coreProfile) (*core.
 		if err != nil {
 			return nil, fmt.Errorf("%s variant: %w", bench, err)
 		}
-		fullEv, err := core.Evaluate(c.Machine, pr, full.Schedule, dl)
+		fullEv, err := c.Measure(pr, full.Schedule, dl)
 		if err != nil {
 			return nil, err
 		}
-		varEv, err := core.Evaluate(c.Machine, pr, varRes.Schedule, dl)
+		varEv, err := c.Measure(pr, varRes.Schedule, dl)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +73,7 @@ func ablate(c *Config, reg volt.Regulator, variant func(pr *coreProfile) (*core.
 func AblationNoTransitionCost(c *Config) ([]AblationRow, error) {
 	reg := volt.DefaultRegulator().WithCapacitance(100e-6)
 	return ablate(c, reg, func(p *coreProfile) (*core.Result, error) {
-		return core.OptimizeSingle(p.pr, p.deadline, &core.Options{
+		return c.OptimizeSingle(p.pr, p.deadline, &core.Options{
 			Regulator: reg, NoTransitionCosts: true, MILP: c.MILP,
 		})
 	})
@@ -84,7 +84,7 @@ func AblationNoTransitionCost(c *Config) ([]AblationRow, error) {
 func AblationBlockBased(c *Config) ([]AblationRow, error) {
 	reg := volt.DefaultRegulator()
 	return ablate(c, reg, func(p *coreProfile) (*core.Result, error) {
-		return core.OptimizeSingle(p.pr, p.deadline, &core.Options{
+		return c.OptimizeSingle(p.pr, p.deadline, &core.Options{
 			Regulator: reg, BlockBased: true, MILP: c.MILP,
 		})
 	})

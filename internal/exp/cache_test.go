@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"ctdvs/internal/pipeline"
+)
+
+// cachedConfig returns a test config whose pipeline persists to dir.
+func cachedConfig(t *testing.T, dir string) *Config {
+	t.Helper()
+	store, err := pipeline.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testConfig()
+	c.Pipeline = pipeline.NewRunner(store)
+	return c
+}
+
+// renderSweep renders every consumer of the deadline sweep, concatenated, so
+// the comparison covers all derived tables.
+func renderSweep(t *testing.T, rows []DeadlineSweepRow) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tab := range []*Table{RenderFigure17(rows), RenderFigure18(rows), RenderTable5(rows)} {
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestWarmRunHitsEverything is the PR's acceptance property: a second run of
+// an experiment against the same cache directory performs zero simulator
+// profile collections and zero MILP solves — every stage in the manifest is a
+// cache hit — and produces bit-identical output to the cold run.
+func TestWarmRunHitsEverything(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := cachedConfig(t, dir)
+	coldRows, err := DeadlineSweep(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut := renderSweep(t, coldRows)
+
+	coldStats := cold.Pipeline.Manifest().Stats()
+	if coldStats[pipeline.StageProfile].Misses == 0 || coldStats[pipeline.StageSolve].Misses == 0 ||
+		coldStats[pipeline.StageValidate].Misses == 0 {
+		t.Fatalf("cold run should miss every stage kind: %+v", coldStats)
+	}
+	if coldStats[pipeline.StageFilter].Misses == 0 || coldStats[pipeline.StageFormulate].Misses == 0 {
+		t.Fatalf("cold run should record filter/formulate work: %+v", coldStats)
+	}
+
+	// Fresh Config, fresh process-equivalent: only the disk store is shared.
+	warm := cachedConfig(t, dir)
+	warmRows, err := DeadlineSweep(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOut := renderSweep(t, warmRows)
+
+	man := warm.Pipeline.Manifest()
+	if !man.AllHits() {
+		t.Errorf("warm run recomputed stages:")
+		for _, r := range man.Records() {
+			if r.Misses > 0 {
+				t.Errorf("  %s %s: %d misses", r.Stage, r.Key[:12], r.Misses)
+			}
+		}
+	}
+	warmStats := man.Stats()
+	for _, kind := range []pipeline.Kind{pipeline.StageProfile, pipeline.StageSolve, pipeline.StageValidate} {
+		s := warmStats[kind]
+		if s.DiskHits == 0 {
+			t.Errorf("warm run has no disk hits for %s: %+v", kind, s)
+		}
+		if s.Misses != 0 {
+			t.Errorf("warm run computed %s %d times", kind, s.Misses)
+		}
+	}
+	// Filter and formulate only run inside a solve miss; a fully warm run
+	// must not have touched them at all.
+	for _, kind := range []pipeline.Kind{pipeline.StageFilter, pipeline.StageFormulate} {
+		if s, ok := warmStats[kind]; ok && s.Misses > 0 {
+			t.Errorf("warm run re-ran %s: %+v", kind, s)
+		}
+	}
+
+	if !bytes.Equal(coldOut, warmOut) {
+		t.Errorf("warm output differs from cold output\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+}
+
+// TestCacheKeySensitivity verifies that changed options miss instead of
+// reusing stale artifacts: a different scale or MILP budget must not hit the
+// other configuration's entries.
+func TestCacheKeySensitivity(t *testing.T) {
+	dir := t.TempDir()
+
+	a := cachedConfig(t, dir)
+	pr, err := a.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dls, err := a.Deadlines("adpcm/encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.OptimizeSingle(pr, dls[4], nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same store, different scale: the profile key must differ.
+	b := cachedConfig(t, dir)
+	b.Scale = a.Scale * 2
+	if _, err := b.Profile("adpcm/encode", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Pipeline.Manifest().Stats()[pipeline.StageProfile]; s.Misses != 1 || s.DiskHits != 0 {
+		t.Errorf("changed scale reused the cached profile: %+v", s)
+	}
+
+	// Same store and scale, different filter option: the solve key must
+	// differ while the profile hits.
+	d := cachedConfig(t, dir)
+	pr2, err := d.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.OptimizeSingle(pr2, dls[4], nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := d.Pipeline.Manifest().Stats()
+	if s := stats[pipeline.StageProfile]; s.DiskHits != 1 || s.Misses != 0 {
+		t.Errorf("identical profile request missed: %+v", s)
+	}
+	if s := stats[pipeline.StageSolve]; s.DiskHits != 1 || s.Misses != 0 {
+		t.Errorf("identical solve request missed: %+v", s)
+	}
+	if _, err := d.OptimizeSingle(pr2, dls[4], nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Pipeline.Manifest().Stats()[pipeline.StageSolve]; s.MemHits != 1 {
+		t.Errorf("repeated in-process solve was not a memory hit: %+v", s)
+	}
+}
+
+// TestInfeasibleSolveCached verifies that infeasible outcomes are artifacts
+// too: a warm run does not re-solve a problem known to have no schedule.
+func TestInfeasibleSolveCached(t *testing.T) {
+	dir := t.TempDir()
+	a := cachedConfig(t, dir)
+	pr, err := a.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deadline far below the fastest mode's runtime is infeasible.
+	n := pr.Modes.Len()
+	tight := pr.TotalTimeUS[n-1] * 0.5
+	if _, err := a.OptimizeSingle(pr, tight, nil); err == nil {
+		t.Fatal("expected infeasible")
+	}
+
+	b := cachedConfig(t, dir)
+	pr2, err := b.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OptimizeSingle(pr2, tight, nil); err == nil {
+		t.Fatal("expected infeasible")
+	}
+	if s := b.Pipeline.Manifest().Stats()[pipeline.StageSolve]; s.Misses != 0 || s.DiskHits != 1 {
+		t.Errorf("infeasible solve was not served from cache: %+v", s)
+	}
+}

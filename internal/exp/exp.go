@@ -17,17 +17,21 @@ import (
 
 	"ctdvs/internal/ir"
 	"ctdvs/internal/milp"
+	"ctdvs/internal/pipeline"
 	"ctdvs/internal/profile"
 	"ctdvs/internal/sim"
 	"ctdvs/internal/volt"
 	"ctdvs/internal/workloads"
 )
 
-// Config carries the shared experiment environment. Profiles are collected
-// lazily and cached, since many experiments share them. A Config is safe for
-// concurrent use: the caches are synchronized and parallel experiment cells
-// draw private simulators from an internal machine pool (the Machine field
-// itself is single-threaded, like every sim.Machine).
+// Config carries the shared experiment environment. Every experiment is a
+// pipeline run: profiles, MILP solves and schedule re-simulations resolve
+// through the Pipeline runner, which deduplicates concurrent requests,
+// memoizes results in-process and — when backed by an artifact store — skips
+// simulation and solving entirely on repeated runs. A Config is safe for
+// concurrent use: parallel experiment cells draw private simulators from an
+// internal machine pool (the Machine field itself is single-threaded, like
+// every sim.Machine).
 type Config struct {
 	// Scale is the workload scale factor (1.0 = paper-comparable sizes).
 	Scale float64
@@ -42,19 +46,15 @@ type Config struct {
 	// category-set, deadline) cells run on up to this many goroutines.
 	// 0 selects runtime.GOMAXPROCS(0); 1 runs every cell sequentially.
 	Workers int
+	// Pipeline resolves profile/solve/validate stages. NewConfig installs a
+	// memory-only runner; attach a disk-backed one (pipeline.NewRunner over a
+	// pipeline.Store) to persist artifacts across processes.
+	Pipeline *pipeline.Runner
 
-	mu       sync.Mutex
-	profiles map[string]*profileSlot
-	specs    map[string]*workloads.Spec
-	machines sync.Pool
-}
-
-// profileSlot caches one profile; the once makes concurrent requests for the
-// same key collect it exactly once while other keys proceed in parallel.
-type profileSlot struct {
-	once sync.Once
-	pr   *profile.Profile
-	err  error
+	mu           sync.Mutex
+	specs        map[string]*workloads.Spec
+	machines     sync.Pool
+	fingerprints sync.Map // *profile.Profile -> string
 }
 
 // NewConfig returns an experiment configuration at the given workload scale.
@@ -62,7 +62,7 @@ func NewConfig(scale float64) *Config {
 	c := &Config{
 		Scale:    scale,
 		Machine:  sim.MustNew(sim.DefaultConfig()),
-		profiles: make(map[string]*profileSlot),
+		Pipeline: pipeline.NewRunner(nil),
 		specs:    make(map[string]*workloads.Spec),
 	}
 	c.machines.New = func() interface{} {
@@ -78,8 +78,11 @@ func (c *Config) acquireMachine() *sim.Machine {
 	return c.machines.Get().(*sim.Machine)
 }
 
+// releaseMachine resets the machine before returning it to the pool, so no
+// borrower inherits another cell's EdgeHook or warmed microarchitectural
+// state.
 func (c *Config) releaseMachine(m *sim.Machine) {
-	m.EdgeHook = nil
+	m.Reset()
 	c.machines.Put(m)
 }
 
@@ -117,37 +120,34 @@ func (c *Config) Spec(name string) (*workloads.Spec, error) {
 }
 
 // Profile returns (and caches) the profile of one benchmark input under a
-// mode set identified by its level count. Concurrent callers block only on
-// the key they ask for.
+// mode set identified by its level count, via the pipeline's profile stage:
+// concurrent callers block only on the key they ask for, repeated in-process
+// calls return the identical *profile.Profile, and with a disk store attached
+// the collection is skipped entirely on repeated runs.
 func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile, error) {
-	key := fmt.Sprintf("%s|%d|%d", bench, input, levels)
-	c.mu.Lock()
-	slot, ok := c.profiles[key]
-	if !ok {
-		slot = &profileSlot{}
-		c.profiles[key] = slot
+	spec, err := c.Spec(bench)
+	if err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
-	slot.once.Do(func() {
-		spec, err := c.Spec(bench)
-		if err != nil {
-			slot.err = err
-			return
-		}
-		if input < 0 || input >= len(spec.Inputs) {
-			slot.err = fmt.Errorf("exp: %s has no input %d", bench, input)
-			return
-		}
-		ms, err := volt.Levels(levels)
-		if err != nil {
-			slot.err = err
-			return
-		}
+	if input < 0 || input >= len(spec.Inputs) {
+		return nil, fmt.Errorf("exp: %s has no input %d", bench, input)
+	}
+	ms, err := volt.Levels(levels)
+	if err != nil {
+		return nil, err
+	}
+	st := pipeline.Stage[*profile.Profile]{
+		Kind:   pipeline.StageProfile,
+		Encode: profile.Encode,
+		Decode: func(data []byte) (*profile.Profile, error) {
+			return profile.Decode(data, spec.Program, spec.Inputs[input], ms)
+		},
+	}
+	return pipeline.Run(c.runner(), st, c.profileKey(bench, input, levels), func() (*profile.Profile, error) {
 		m := c.acquireMachine()
 		defer c.releaseMachine(m)
-		slot.pr, slot.err = profile.Collect(m, spec.Program, spec.Inputs[input], ms)
+		return profile.Collect(m, spec.Program, spec.Inputs[input], ms)
 	})
-	return slot.pr, slot.err
 }
 
 // Deadlines returns the benchmark's five paper deadlines (µs) at the current

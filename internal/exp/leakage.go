@@ -42,7 +42,7 @@ func AblationLeakage(c *Config, powersMW []float64) ([]LeakageRow, error) {
 			return nil, err
 		}
 		dl := dls[4]
-		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+		res, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", bench, err)
 		}
@@ -52,23 +52,15 @@ func AblationLeakage(c *Config, powersMW []float64) ([]LeakageRow, error) {
 		}
 		base := core.SingleModeSchedule(pr, mode, reg)
 
-		spec, err := c.Spec(bench)
-		if err != nil {
-			return nil, err
-		}
 		row := LeakageRow{Benchmark: bench, PowersMW: powersMW}
 		for _, p := range powersMW {
 			mc := sim.DefaultConfig()
 			mc.StaticPowerMW = p
-			machine, err := sim.New(mc)
+			dvs, err := c.RunScheduleConfig(mc, pr, res.Schedule)
 			if err != nil {
 				return nil, err
 			}
-			dvs, err := machine.RunDVS(spec.Program, spec.Inputs[0], res.Schedule)
-			if err != nil {
-				return nil, err
-			}
-			single, err := machine.RunDVS(spec.Program, spec.Inputs[0], base)
+			single, err := c.RunScheduleConfig(mc, pr, base)
 			if err != nil {
 				return nil, err
 			}

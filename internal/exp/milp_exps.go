@@ -159,13 +159,13 @@ func Table3Figure14(c *Config) ([]FilterRow, error) {
 			return err
 		}
 		dl := dls[4] // Deadline 5
-		full, err := core.OptimizeSingle(pr, dl, &core.Options{
+		full, err := c.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: -1, MILP: opts,
 		})
 		if err != nil {
 			return fmt.Errorf("%s full: %w", bench, err)
 		}
-		filt, err := core.OptimizeSingle(pr, dl, &core.Options{
+		filt, err := c.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: 0.02, MILP: opts,
 		})
 		if err != nil {
@@ -252,13 +252,11 @@ func Figure15(c *Config) ([]Fig15Row, error) {
 			rows[b].Baseline600J = base
 		}
 		reg := volt.DefaultRegulator().WithCapacitance(cap)
-		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
+		res, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
 		if err != nil {
 			return fmt.Errorf("%s c=%v: %w", bench, cap, err)
 		}
-		m := c.acquireMachine()
-		defer c.releaseMachine(m)
-		ev, err := core.Evaluate(m, pr, res.Schedule, dl)
+		ev, err := c.Measure(pr, res.Schedule, dl)
 		if err != nil {
 			return err
 		}
@@ -327,13 +325,11 @@ func DeadlineSweep(c *Config) ([]DeadlineSweepRow, error) {
 			rows[b].DeadlinesUS = dls
 		}
 		dl := dls[k]
-		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
+		res, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
 		if err != nil {
 			return fmt.Errorf("%s D%d: %w", bench, k+1, err)
 		}
-		m := c.acquireMachine()
-		defer c.releaseMachine(m)
-		ev, err := core.Evaluate(m, pr, res.Schedule, dl)
+		ev, err := c.Measure(pr, res.Schedule, dl)
 		if err != nil {
 			return err
 		}
@@ -432,16 +428,14 @@ func Table6(c *Config) ([]Table6Row, error) {
 		if err != nil {
 			return err
 		}
-		m := c.acquireMachine()
-		defer c.releaseMachine(m)
 		row := Table6Row{Benchmark: bench, Levels: levels}
 		for k, dl := range dls {
-			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
+			res, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: opts})
 			if err != nil {
 				// A deadline the level set cannot meet records zero.
 				continue
 			}
-			s, err := core.SavingsVsBestSingle(m, pr, res.Schedule, dl, reg)
+			s, err := c.Savings(pr, res.Schedule, dl, reg)
 			if err != nil {
 				continue
 			}
@@ -528,7 +522,7 @@ func Figure19(c *Config) ([]Fig19Row, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := core.OptimizeSingle(pr, deadline, &core.Options{Regulator: reg, MILP: c.MILP})
+		res, err := c.OptimizeSingle(pr, deadline, &core.Options{Regulator: reg, MILP: c.MILP})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -543,7 +537,7 @@ func Figure19(c *Config) ([]Fig19Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	avgRes, err := core.Optimize([]core.Category{
+	avgRes, err := c.Optimize([]core.Category{
 		{Profile: flwrProf, Weight: 0.5, DeadlineUS: deadline},
 		{Profile: bbcProf, Weight: 0.5, DeadlineUS: deadline},
 	}, &core.Options{Regulator: reg, MILP: c.MILP})
@@ -553,13 +547,14 @@ func Figure19(c *Config) ([]Fig19Row, error) {
 
 	var rows []Fig19Row
 	for _, in := range spec.Inputs {
-		selfRes, _, err := schedFor(inputIdx[in.Name])
+		idx := inputIdx[in.Name]
+		selfRes, runProf, err := schedFor(idx)
 		if err != nil {
 			return nil, err
 		}
 		row := Fig19Row{RunInput: in.Name}
 		for si, sched := range []*core.Result{selfRes, flwrRes, bbcRes, avgRes} {
-			run, err := c.Machine.RunDVS(spec.Program, in, sched.Schedule)
+			run, err := c.RunSchedule(runProf, sched.Schedule)
 			if err != nil {
 				return nil, err
 			}

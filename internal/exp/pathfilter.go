@@ -68,13 +68,13 @@ func AblationPathFilter(c *Config, coverage float64) ([]PathFilterRow, error) {
 			return nil, fmt.Errorf("%s: %w", bench, err)
 		}
 
-		tail, err := core.OptimizeSingle(pr, dl, &core.Options{
+		tail, err := c.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: 0.02, MILP: c.MILP,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s tail: %w", bench, err)
 		}
-		path, err := core.OptimizeSingle(pr, dl, &core.Options{
+		path, err := c.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, KeepIndependent: keep, MILP: c.MILP,
 		})
 		if err != nil {

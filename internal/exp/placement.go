@@ -39,12 +39,12 @@ func PlacementStats(c *Config) ([]PlacementRow, error) {
 		}
 		for _, dn := range []int{2, 4} {
 			dl := dls[dn-1]
-			res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+			res, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
 			if err != nil {
 				return nil, fmt.Errorf("%s D%d: %w", bench, dn, err)
 			}
 			pl := core.PlaceModeSets(pr, res.Schedule)
-			ev, err := core.Evaluate(c.Machine, pr, res.Schedule, dl)
+			ev, err := c.Measure(pr, res.Schedule, dl)
 			if err != nil {
 				return nil, err
 			}

@@ -65,11 +65,11 @@ func RuntimeVsCompileTime(c *Config) ([]RuntimeRow, error) {
 			return nil, err
 		}
 
-		res, err := core.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
+		res, err := c.OptimizeSingle(pr, dl, &core.Options{Regulator: reg, MILP: c.MILP})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", bench, err)
 		}
-		milp, err := c.Machine.RunDVS(spec.Program, spec.Inputs[0], res.Schedule)
+		milp, err := c.RunSchedule(pr, res.Schedule)
 		if err != nil {
 			return nil, err
 		}

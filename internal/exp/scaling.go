@@ -67,13 +67,13 @@ func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Dur
 		if c.workers() > 1 {
 			opts.Workers = 1
 		}
-		full, err := core.OptimizeSingle(pr, dl, &core.Options{
+		full, err := c.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: -1, MILP: opts,
 		})
 		if err != nil {
 			return fmt.Errorf("size %d full: %w", size, err)
 		}
-		filt, err := core.OptimizeSingle(pr, dl, &core.Options{
+		filt, err := c.OptimizeSingle(pr, dl, &core.Options{
 			Regulator: reg, FilterTail: 0.02, MILP: opts,
 		})
 		if err != nil {

@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenKey pins the digest for a fixed input. If this test starts failing,
+// the key format changed and every existing cache directory is silently
+// invalidated — that may be intentional, but it must be deliberate.
+const goldenKey = Key("6bba6acba4c36dfecd489f11a5363f9d31999fdb317b01dce1ebcdbbd7f68a15")
+
+func goldenBuilder() *KeyBuilder {
+	return NewKey(StageProfile).
+		Str("bench", "mpeg").
+		Str("input", "decode").
+		Int("levels", 7).
+		Float("scale", 0.02)
+}
+
+func TestKeyGoldenStability(t *testing.T) {
+	// Identical inputs hash identically — and to the pinned digest, so the
+	// property holds across processes and machines, not just within this one.
+	k1 := goldenBuilder().Sum()
+	k2 := goldenBuilder().Sum()
+	if k1 != k2 {
+		t.Fatalf("identical inputs hashed differently: %s vs %s", k1, k2)
+	}
+	if k1 != goldenKey {
+		t.Fatalf("key format changed: got %s, golden %s", k1, goldenKey)
+	}
+	if err := k1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyChangesWithAnyField(t *testing.T) {
+	base := goldenBuilder().Sum()
+	variants := map[string]Key{
+		"kind": NewKey(StageSolve).
+			Str("bench", "mpeg").Str("input", "decode").Int("levels", 7).Float("scale", 0.02).Sum(),
+		"string": NewKey(StageProfile).
+			Str("bench", "gsm").Str("input", "decode").Int("levels", 7).Float("scale", 0.02).Sum(),
+		"int": NewKey(StageProfile).
+			Str("bench", "mpeg").Str("input", "decode").Int("levels", 13).Float("scale", 0.02).Sum(),
+		"float": NewKey(StageProfile).
+			Str("bench", "mpeg").Str("input", "decode").Int("levels", 7).Float("scale", 0.1).Sum(),
+		"extra bool": goldenBuilder().Bool("filtered", true).Sum(),
+		"extra floats": goldenBuilder().Floats("weights", []float64{0.5, 0.5}).Sum(),
+	}
+	seen := map[Key]string{base: "base"}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variants %s and %s collide", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestKeyFieldBoundaries(t *testing.T) {
+	// Quoting must prevent field-boundary confusion: a value containing what
+	// looks like a serialized field must not collide with two separate fields.
+	a := NewKey(StageProfile).Str("a", "x\"\nb=\"y").Sum()
+	b := NewKey(StageProfile).Str("a", "x").Str("b", "y").Sum()
+	if a == b {
+		t.Fatal("string quoting failed to separate field boundaries")
+	}
+}
+
+func TestFloatKeyPrecision(t *testing.T) {
+	// Distinct float64 values — even ones that print identically at low
+	// precision — must produce distinct keys.
+	x, y := 0.1, 0.2
+	a := NewKey(StageSolve).Float("dl", x+y).Sum()
+	b := NewKey(StageSolve).Float("dl", 0.3).Sum()
+	if a == b {
+		t.Fatal("nearby floats collided")
+	}
+	if NewKey(StageSolve).Float("dl", x+y).Sum() != a {
+		t.Fatal("float key unstable")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	fp := Fingerprint([]byte("schedule"))
+	if fp != Fingerprint([]byte("schedule")) {
+		t.Fatal("fingerprint unstable")
+	}
+	if fp == Fingerprint([]byte("schedule2")) {
+		t.Fatal("distinct content fingerprinted identically")
+	}
+	if err := Key(fp).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyValidate(t *testing.T) {
+	if err := goldenKey.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Key{"", "zz", Key(strings.Repeat("g", 64)), Key(strings.Repeat("a", 63))}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("Validate accepted %q", k)
+		}
+	}
+}

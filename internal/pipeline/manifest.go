@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// StageRecord is the manifest entry for one (stage, key) pair, aggregating
+// every request the run made for that artifact.
+type StageRecord struct {
+	Stage Kind   `json:"stage"`
+	Key   string `json:"key"`
+	// Misses counts computations (cold executions of the stage).
+	Misses int `json:"misses"`
+	// DiskHits counts loads from the artifact store; MemHits counts requests
+	// satisfied by this run's in-memory slot (including callers that blocked
+	// on a concurrent computation of the same key).
+	DiskHits int `json:"disk_hits"`
+	MemHits  int `json:"mem_hits"`
+	// ComputeMS is the total wall time spent computing (misses only).
+	ComputeMS float64 `json:"compute_ms"`
+	// Artifact is the store path of the cached artifact, empty when the run
+	// had no store or the stage is not cached (filter/formulate are recorded
+	// for accounting but persist nothing of their own — the solve artifact
+	// subsumes them).
+	Artifact string `json:"artifact,omitempty"`
+	// Cached is false for stages that are recorded but never persisted.
+	Cached bool `json:"cached"`
+}
+
+// KindStats aggregates a stage kind across all keys.
+type KindStats struct {
+	Misses    int     `json:"misses"`
+	DiskHits  int     `json:"disk_hits"`
+	MemHits   int     `json:"mem_hits"`
+	ComputeMS float64 `json:"compute_ms"`
+}
+
+// Manifest records every stage execution of one pipeline run: hit/miss
+// accounting, wall time, and artifact keys. It is safe for concurrent use.
+type Manifest struct {
+	mu      sync.Mutex
+	records map[string]*StageRecord
+}
+
+// NewManifest returns an empty manifest.
+func NewManifest() *Manifest {
+	return &Manifest{records: make(map[string]*StageRecord)}
+}
+
+func (m *Manifest) record(kind Kind, key Key) *StageRecord {
+	id := string(kind) + "/" + string(key)
+	r, ok := m.records[id]
+	if !ok {
+		r = &StageRecord{Stage: kind, Key: string(key)}
+		m.records[id] = r
+	}
+	return r
+}
+
+func (m *Manifest) addMiss(kind Kind, key Key, ms float64, artifact string, cached bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.record(kind, key)
+	r.Misses++
+	r.ComputeMS += ms
+	r.Cached = r.Cached || cached
+	if artifact != "" {
+		r.Artifact = artifact
+	}
+}
+
+func (m *Manifest) addDiskHit(kind Kind, key Key, artifact string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.record(kind, key)
+	r.DiskHits++
+	r.Cached = true
+	if artifact != "" {
+		r.Artifact = artifact
+	}
+}
+
+func (m *Manifest) addMemHit(kind Kind, key Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.record(kind, key).MemHits++
+}
+
+// Records returns the manifest entries sorted by (stage, key).
+func (m *Manifest) Records() []StageRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StageRecord, 0, len(m.records))
+	for _, r := range m.records {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Stage != out[b].Stage {
+			return out[a].Stage < out[b].Stage
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// Stats aggregates the manifest per stage kind.
+func (m *Manifest) Stats() map[Kind]KindStats {
+	stats := make(map[Kind]KindStats)
+	for _, r := range m.Records() {
+		s := stats[r.Stage]
+		s.Misses += r.Misses
+		s.DiskHits += r.DiskHits
+		s.MemHits += r.MemHits
+		s.ComputeMS += r.ComputeMS
+		stats[r.Stage] = s
+	}
+	return stats
+}
+
+// AllHits reports whether every recorded stage was served from cache — the
+// warm-run property the acceptance tests assert: zero profile collections,
+// zero MILP solves.
+func (m *Manifest) AllHits() bool {
+	for _, r := range m.Records() {
+		if r.Misses > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// manifestDoc is the JSON document layout.
+type manifestDoc struct {
+	Version int                `json:"version"`
+	Summary map[Kind]KindStats `json:"summary"`
+	Records []StageRecord      `json:"records"`
+}
+
+// WriteJSON renders the manifest.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	doc := manifestDoc{Version: 1, Summary: m.Stats(), Records: m.Records()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stage describes one typed pipeline stage: its kind and the codec that
+// round-trips its artifact through the store. Encode must be deterministic —
+// encode(decode(encode(x))) == encode(x) — so content fingerprints are stable
+// across processes; every codec in this repository uses struct-ordered JSON,
+// which satisfies this.
+type Stage[T any] struct {
+	Kind   Kind
+	Encode func(T) ([]byte, error)
+	Decode func([]byte) (T, error)
+}
+
+// slot is the in-memory singleflight cell for one (kind, key): concurrent
+// requests for the same artifact block on one computation while other keys
+// proceed in parallel. The resolved artifact stays in the slot, so repeated
+// in-process requests are memory hits.
+type slot struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Runner executes pipeline stages against an optional artifact store,
+// deduplicating concurrent work and recording every request in the run
+// manifest. A nil-store Runner is a pure in-memory cache (the default for
+// library use); with a store, artifacts persist across processes. A Runner
+// is safe for concurrent use.
+type Runner struct {
+	store *Store
+	man   *Manifest
+
+	mu    sync.Mutex
+	slots map[string]*slot
+}
+
+// NewRunner returns a runner over the given store; store may be nil for a
+// memory-only runner.
+func NewRunner(store *Store) *Runner {
+	return &Runner{
+		store: store,
+		man:   NewManifest(),
+		slots: make(map[string]*slot),
+	}
+}
+
+// Store returns the backing store (nil for memory-only runners).
+func (r *Runner) Store() *Store { return r.store }
+
+// Manifest returns the run manifest.
+func (r *Runner) Manifest() *Manifest { return r.man }
+
+// Run resolves the artifact for (stage, key): from this run's memory, then
+// from the store, and only then by computing it (persisting the result when
+// a store is attached). All callers of the same key share one resolution.
+func Run[T any](r *Runner, st Stage[T], key Key, compute func() (T, error)) (T, error) {
+	id := string(st.Kind) + "/" + string(key)
+	r.mu.Lock()
+	s, ok := r.slots[id]
+	if !ok {
+		s = &slot{}
+		r.slots[id] = s
+	}
+	r.mu.Unlock()
+
+	executed := false
+	s.once.Do(func() {
+		executed = true
+		s.val, s.err = resolve(r, st, key, compute)
+	})
+	if !executed {
+		// Served from the in-memory slot (possibly after blocking on a
+		// concurrent resolution of the same key).
+		r.man.addMemHit(st.Kind, key)
+	}
+	if s.err != nil {
+		var zero T
+		return zero, s.err
+	}
+	v, ok := s.val.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("pipeline: stage %s key %s resolved to %T", st.Kind, key, s.val)
+	}
+	return v, nil
+}
+
+func resolve[T any](r *Runner, st Stage[T], key Key, compute func() (T, error)) (T, error) {
+	var artifact string
+	if r.store != nil {
+		artifact = r.store.Path(st.Kind, key)
+		if data, ok, err := r.store.Get(st.Kind, key); err == nil && ok {
+			if v, derr := st.Decode(data); derr == nil {
+				r.man.addDiskHit(st.Kind, key, artifact)
+				return v, nil
+			}
+			// A corrupt or stale-format artifact falls through to a
+			// recompute, which overwrites it.
+		}
+	}
+
+	start := time.Now()
+	v, err := compute()
+	ms := float64(time.Since(start).Microseconds()) / 1e3
+	if err != nil {
+		var zero T
+		r.man.addMiss(st.Kind, key, ms, "", r.store != nil)
+		return zero, err
+	}
+	if r.store != nil {
+		if data, eerr := st.Encode(v); eerr == nil {
+			if perr := r.store.Put(st.Kind, key, data); perr != nil {
+				artifact = "" // computed fine, persisting failed; stay usable
+			}
+		} else {
+			artifact = ""
+		}
+	}
+	r.man.addMiss(st.Kind, key, ms, artifact, r.store != nil)
+	return v, nil
+}
+
+// Observe times an uncached stage (filter, formulate) and records it in the
+// manifest. These stages only run when the enclosing solve misses, so a warm
+// run's manifest contains no entries for them.
+func (r *Runner) Observe(kind Kind, key Key, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	r.man.addMiss(kind, key, float64(time.Since(start).Microseconds())/1e3, "", false)
+	return err
+}

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is a content-addressed on-disk artifact store. Artifacts live under
+//
+//	<dir>/<kind>/<key[:2]>/<key>.json
+//
+// sharded by the first key byte so directories stay small at production
+// scale. Writes are atomic (temp file + rename), so concurrent processes
+// sharing a cache directory never observe torn artifacts; a lost race simply
+// rewrites identical bytes.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("pipeline: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the artifact path for (kind, key) without touching the disk.
+func (s *Store) Path(kind Kind, key Key) string {
+	return filepath.Join(s.dir, string(kind), string(key[:2]), string(key)+".json")
+}
+
+// Get returns the artifact bytes and whether they were present.
+func (s *Store) Get(kind Kind, key Key) ([]byte, bool, error) {
+	if err := key.Validate(); err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(s.Path(kind, key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("pipeline: get %s/%s: %w", kind, key, err)
+	}
+	return data, true, nil
+}
+
+// Put writes the artifact atomically.
+func (s *Store) Put(kind Kind, key Key, data []byte) error {
+	if err := key.Validate(); err != nil {
+		return err
+	}
+	path := s.Path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, werr)
+		}
+		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, err)
+	}
+	return nil
+}

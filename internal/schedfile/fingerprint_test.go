@@ -1,0 +1,66 @@
+package schedfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Assignments come from a map; New must sort them so equal schedules
+	// encode to equal bytes every time.
+	var first []byte
+	for i := 0; i < 10; i++ {
+		f, err := New("gsm/encode", sample())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Fatal("equal schedules encoded to different bytes")
+		}
+	}
+	// Encode must agree byte-for-byte with Save.
+	var buf bytes.Buffer
+	if err := Save(&buf, "gsm/encode", sample()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf.Bytes()) {
+		t.Fatal("Encode and Save disagree")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	fp1, err := Fingerprint("gsm/encode", sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint("gsm/encode", sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 || len(fp1) != 64 {
+		t.Fatalf("fingerprint unstable or malformed: %q vs %q", fp1, fp2)
+	}
+	// Any difference — even just the program name — changes the digest.
+	fp3, err := Fingerprint("mpeg/decode", sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatal("different program, same fingerprint")
+	}
+	s := sample()
+	s.Initial = 0
+	fp4, err := Fingerprint("gsm/encode", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp4 == fp1 {
+		t.Fatal("different schedule, same fingerprint")
+	}
+}

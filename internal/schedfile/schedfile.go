@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"ctdvs/internal/cfg"
+	"ctdvs/internal/pipeline"
 	"ctdvs/internal/sim"
 	"ctdvs/internal/volt"
 )
@@ -52,12 +53,14 @@ type AssignmentJSON struct {
 	Mode int `json:"mode"`
 }
 
-// Save writes the schedule for the named program.
-func Save(w io.Writer, program string, s *sim.Schedule) error {
+// New builds the canonical file representation of a schedule: modes in mode-set
+// order and assignments sorted by (from, to), so the same schedule always
+// yields byte-identical JSON regardless of map iteration order.
+func New(program string, s *sim.Schedule) (*File, error) {
 	if s == nil || s.Modes == nil {
-		return fmt.Errorf("schedfile: nil schedule")
+		return nil, fmt.Errorf("schedfile: nil schedule")
 	}
-	f := File{
+	f := &File{
 		Version: Version,
 		Program: program,
 		Initial: s.Initial,
@@ -79,19 +82,12 @@ func Save(w io.Writer, program string, s *sim.Schedule) error {
 		}
 		return f.Assignments[a].To < f.Assignments[b].To
 	})
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(f)
+	return f, nil
 }
 
-// Load reads a schedule file, validating structure and ranges.
-func Load(r io.Reader) (program string, s *sim.Schedule, err error) {
-	var f File
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&f); err != nil {
-		return "", nil, fmt.Errorf("schedfile: %w", err)
-	}
+// Schedule reconstructs the executable schedule, validating structure and
+// ranges.
+func (f *File) Schedule() (program string, s *sim.Schedule, err error) {
 	if f.Version != Version {
 		return "", nil, fmt.Errorf("schedfile: unsupported version %d", f.Version)
 	}
@@ -130,4 +126,54 @@ func Load(r io.Reader) (program string, s *sim.Schedule, err error) {
 		sched.Assignment[e] = a.Mode
 	}
 	return f.Program, sched, nil
+}
+
+// Encode renders the canonical indented JSON for the file. Because New sorts
+// assignments and json.Marshal emits struct fields in declaration order, equal
+// schedules encode to equal bytes.
+func (f *File) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("schedfile: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Fingerprint returns the content digest of the schedule's canonical encoding,
+// used by the pipeline's validate stage to address re-simulation artifacts.
+func Fingerprint(program string, s *sim.Schedule) (string, error) {
+	f, err := New(program, s)
+	if err != nil {
+		return "", err
+	}
+	data, err := f.Encode()
+	if err != nil {
+		return "", err
+	}
+	return pipeline.Fingerprint(data), nil
+}
+
+// Save writes the schedule for the named program.
+func Save(w io.Writer, program string, s *sim.Schedule) error {
+	f, err := New(program, s)
+	if err != nil {
+		return err
+	}
+	data, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Load reads a schedule file, validating structure and ranges.
+func Load(r io.Reader) (program string, s *sim.Schedule, err error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return "", nil, fmt.Errorf("schedfile: %w", err)
+	}
+	return f.Schedule()
 }

@@ -111,6 +111,18 @@ func MustNew(c Config) *Machine {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Reset returns the machine to its post-New state: cold caches, cold
+// predictor, no edge hook. Individual runs already reset microarchitectural
+// state on entry; Reset exists for machine pools (see exp.Config), where a
+// machine handed back by one experiment must not leak its EdgeHook — or,
+// if future state outlives run() — into the next borrower.
+func (m *Machine) Reset() {
+	m.l1.reset()
+	m.l2.reset()
+	m.pred.reset()
+	m.EdgeHook = nil
+}
+
 // Run simulates the program on the given input entirely at one DVS mode.
 func (m *Machine) Run(p *ir.Program, in ir.Input, mode volt.Mode) (*Result, error) {
 	return m.run(p, in, nil, nil, mode)

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ctdvs/internal/ir"
+)
+
+// TestResetClearsHookAndState verifies the pool-return contract: after Reset,
+// a machine behaves exactly like a freshly constructed one and carries no
+// edge hook from its previous borrower.
+func TestResetClearsHookAndState(t *testing.T) {
+	p := computeOnly(50, 100)
+	in := ir.Input{Name: "default", Seed: 1}
+
+	mach := MustNew(DefaultConfig())
+	hooked := 0
+	mach.EdgeHook = func(from, to int) { hooked++ }
+	if _, err := mach.Run(p, in, mode800()); err != nil {
+		t.Fatal(err)
+	}
+	if hooked == 0 {
+		t.Fatal("edge hook never fired")
+	}
+
+	mach.Reset()
+	if mach.EdgeHook != nil {
+		t.Error("Reset left the edge hook installed")
+	}
+
+	fresh := MustNew(DefaultConfig())
+	got, err := mach.Run(p, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(p, in, mode800())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-Reset run differs from fresh machine:\ngot  %+v\nwant %+v", got, want)
+	}
+}
