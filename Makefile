@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench ci
+.PHONY: build test test-race vet bench bench-all ci
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,13 @@ test-race:
 vet:
 	$(GO) vet ./...
 
+# The solver/pipeline benchmarks that rewrite BENCH_milp.json and
+# BENCH_pipeline.json: serial MILP (warm vs cold inline), parallel MILP, and
+# the artifact-store replay. bench-all runs everything.
 bench:
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm)$$' -benchmem .
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # The PR gate: vet, full build, the whole test suite, and the race detector
@@ -29,4 +35,4 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp
+	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp

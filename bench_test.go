@@ -452,22 +452,37 @@ func BenchmarkPlacementStats(b *testing.B) {
 //
 // BenchmarkMILPSerial and BenchmarkMILPParallel solve the same unfiltered
 // (FilterTail < 0) mpeg/decode MILP with one worker and with max(4,
-// GOMAXPROCS) workers; the parallel run also measures a serial baseline
-// inline, checks the objectives agree, and writes the speedup record to
-// BENCH_milp.json. The speedup is real only with GOMAXPROCS ≥ 4 — on fewer
-// cores the deterministic batch design degenerates to near-serial cost and
-// the record reports that honestly.
+// GOMAXPROCS) workers. The serial benchmark measures a cold (warm starts
+// disabled) baseline inline and reports the warm-vs-cold speedup; the
+// parallel run measures a warm serial baseline inline, checks the objectives
+// agree bit-for-bit across all three configurations, and writes the full
+// record — both speedups plus the warm-start statistics — to
+// BENCH_milp.json. The parallel speedup is real only with GOMAXPROCS ≥ 4 —
+// on fewer cores the deterministic batch design degenerates to near-serial
+// cost and the record reports that honestly.
 
 // milpBenchRecord is the schema of BENCH_milp.json.
 type milpBenchRecord struct {
-	Benchmark    string  `json:"benchmark"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	Workers      int     `json:"workers"`
-	SerialNsOp   float64 `json:"serial_ns_per_op"`
-	ParallelNsOp float64 `json:"parallel_ns_per_op"`
-	Speedup      float64 `json:"speedup_vs_serial"`
-	ObjectiveUJ  float64 `json:"objective_uj"`
-	Nodes        int     `json:"bb_nodes"`
+	Benchmark  string `json:"benchmark"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	// Cold/serial/parallel wall times: cold is serial with warm starts
+	// disabled, serial and parallel warm-start (the default).
+	ColdSerialNsOp float64 `json:"cold_serial_ns_per_op"`
+	SerialNsOp     float64 `json:"serial_ns_per_op"`
+	ParallelNsOp   float64 `json:"parallel_ns_per_op"`
+	WarmSpeedup    float64 `json:"speedup_warm_vs_cold"`
+	Speedup        float64 `json:"speedup_vs_serial"`
+	ObjectiveUJ    float64 `json:"objective_uj"`
+	Nodes          int     `json:"bb_nodes"`
+	// Warm-start statistics of the parallel run (see milp.Result).
+	WarmSolves    int     `json:"warm_solves"`
+	ColdSolves    int     `json:"cold_solves"`
+	WarmFallbacks int     `json:"warm_fallbacks"`
+	WarmHitRate   float64 `json:"warm_hit_rate"`
+	LPPivots      int     `json:"lp_pivots"`
+	PivotsPerNode float64 `json:"pivots_per_node"`
+	LPTimeNs      float64 `json:"lp_time_ns"`
 }
 
 // milpBenchProfile collects the mpeg/decode profile and mid-range deadline
@@ -485,12 +500,16 @@ func milpBenchProfile(b *testing.B) (*profile.Profile, float64) {
 }
 
 // solveMpegUnfiltered runs the full-edge-set optimization at the given
-// branch-and-bound worker count.
-func solveMpegUnfiltered(b *testing.B, pr *profile.Profile, dl float64, workers int) *core.Result {
+// branch-and-bound worker count, optionally with warm starts disabled.
+func solveMpegUnfiltered(b *testing.B, pr *profile.Profile, dl float64, workers int, coldOnly bool) *core.Result {
 	b.Helper()
 	res, err := core.OptimizeSingle(pr, dl, &core.Options{
 		FilterTail: -1,
-		MILP:       &milp.Options{TimeLimit: 2 * time.Minute, Workers: workers},
+		MILP: &milp.Options{
+			TimeLimit:        2 * time.Minute,
+			Workers:          workers,
+			DisableWarmStart: coldOnly,
+		},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -500,12 +519,27 @@ func solveMpegUnfiltered(b *testing.B, pr *profile.Profile, dl float64, workers 
 
 func BenchmarkMILPSerial(b *testing.B) {
 	pr, dl := milpBenchProfile(b)
+
+	coldStart := time.Now()
+	cold := solveMpegUnfiltered(b, pr, dl, 1, true)
+	coldNs := float64(time.Since(coldStart).Nanoseconds())
+
 	b.ResetTimer()
-	var nodes float64
+	var warm *core.Result
 	for i := 0; i < b.N; i++ {
-		nodes = float64(solveMpegUnfiltered(b, pr, dl, 1).Solver.Nodes)
+		warm = solveMpegUnfiltered(b, pr, dl, 1, false)
 	}
-	b.ReportMetric(nodes, "bb-nodes")
+	b.StopTimer()
+
+	if cold.PredictedEnergyUJ != warm.PredictedEnergyUJ {
+		b.Fatalf("objective diverged: cold %v vs warm %v",
+			cold.PredictedEnergyUJ, warm.PredictedEnergyUJ)
+	}
+	warmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(warm.Solver.Nodes), "bb-nodes")
+	b.ReportMetric(coldNs/warmNs, "speedup-warm-vs-cold")
+	b.ReportMetric(warm.Solver.WarmHitRate(), "warm-hit-rate")
+	b.ReportMetric(warm.Solver.PivotsPerNode(), "pivots-per-node")
 }
 
 func BenchmarkMILPParallel(b *testing.B) {
@@ -515,33 +549,53 @@ func BenchmarkMILPParallel(b *testing.B) {
 		workers = n
 	}
 
+	coldStart := time.Now()
+	cold := solveMpegUnfiltered(b, pr, dl, 1, true)
+	coldNs := float64(time.Since(coldStart).Nanoseconds())
+
 	serialStart := time.Now()
-	serial := solveMpegUnfiltered(b, pr, dl, 1)
+	serial := solveMpegUnfiltered(b, pr, dl, 1, false)
 	serialNs := float64(time.Since(serialStart).Nanoseconds())
 
 	b.ResetTimer()
 	var par *core.Result
 	for i := 0; i < b.N; i++ {
-		par = solveMpegUnfiltered(b, pr, dl, workers)
+		par = solveMpegUnfiltered(b, pr, dl, workers, false)
 	}
 	b.StopTimer()
 
+	// Warm starts and parallelism must change the work only, never the
+	// answer: all three configurations land on the identical objective.
+	if cold.PredictedEnergyUJ != serial.PredictedEnergyUJ {
+		b.Fatalf("objective diverged: cold %v vs warm serial %v",
+			cold.PredictedEnergyUJ, serial.PredictedEnergyUJ)
+	}
 	if d := math.Abs(serial.PredictedEnergyUJ - par.PredictedEnergyUJ); d > 1e-9 {
 		b.Fatalf("objective diverged: serial %v vs parallel %v (Δ=%g)",
 			serial.PredictedEnergyUJ, par.PredictedEnergyUJ, d)
 	}
 	parNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	rec := milpBenchRecord{
-		Benchmark:    "mpeg/decode",
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Workers:      workers,
-		SerialNsOp:   serialNs,
-		ParallelNsOp: parNs,
-		Speedup:      serialNs / parNs,
-		ObjectiveUJ:  par.PredictedEnergyUJ,
-		Nodes:        par.Solver.Nodes,
+		Benchmark:      "mpeg/decode",
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Workers:        workers,
+		ColdSerialNsOp: coldNs,
+		SerialNsOp:     serialNs,
+		ParallelNsOp:   parNs,
+		WarmSpeedup:    coldNs / serialNs,
+		Speedup:        serialNs / parNs,
+		ObjectiveUJ:    par.PredictedEnergyUJ,
+		Nodes:          par.Solver.Nodes,
+		WarmSolves:     par.Solver.WarmSolves,
+		ColdSolves:     par.Solver.ColdSolves,
+		WarmFallbacks:  par.Solver.WarmFallbacks,
+		WarmHitRate:    par.Solver.WarmHitRate(),
+		LPPivots:       par.Solver.LPPivots,
+		PivotsPerNode:  par.Solver.PivotsPerNode(),
+		LPTimeNs:       float64(par.Solver.LPTime.Nanoseconds()),
 	}
 	b.ReportMetric(rec.Speedup, "speedup-vs-serial")
+	b.ReportMetric(rec.WarmSpeedup, "speedup-warm-vs-cold")
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		b.Fatal(err)

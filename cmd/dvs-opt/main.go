@@ -86,6 +86,10 @@ func main() {
 		res.IndependentEdges, res.TotalEdges,
 		res.Solver.Nodes, res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
 		res.Solver.Status)
+	fmt.Printf("LP:   %d warm / %d cold / %d fallback solves (%.0f%% warm), %d pivots (%.1f/node), %v in simplex\n",
+		res.Solver.WarmSolves, res.Solver.ColdSolves, res.Solver.WarmFallbacks,
+		100*res.Solver.WarmHitRate(), res.Solver.LPPivots, res.Solver.PivotsPerNode(),
+		res.Solver.LPTime.Round(time.Millisecond))
 	fmt.Printf("predicted: energy %.1f µJ, time %.1f µs\n",
 		res.PredictedEnergyUJ, res.PredictedTimeUS[0])
 

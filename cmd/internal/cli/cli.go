@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ctdvs/internal/exp"
@@ -35,7 +37,13 @@ type App struct {
 	SolveLimit time.Duration
 	Workers    int
 
-	runner *pipeline.Runner
+	// CPUProfile and MemProfile are the pprof output paths every command
+	// registers; empty disables the profile.
+	CPUProfile string
+	MemProfile string
+
+	runner  *pipeline.Runner
+	cpuProf *os.File
 }
 
 // New returns an App and registers the cache flags. Call the optional
@@ -48,6 +56,10 @@ func New(name string) *App {
 		"ignore -cache-dir and recompute everything (artifacts stay in memory for this run)")
 	flag.StringVar(&a.Manifest, "manifest", "",
 		"write a JSON run manifest (per-stage cache hits, misses and timings) to this file")
+	flag.StringVar(&a.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the whole run to this file")
+	flag.StringVar(&a.MemProfile, "memprofile", "",
+		"write a pprof heap profile (taken at exit) to this file")
 	return a
 }
 
@@ -62,8 +74,22 @@ func (a *App) SolveFlags() {
 	flag.IntVar(&a.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 }
 
-// Parse parses the command line.
-func (a *App) Parse() { flag.Parse() }
+// Parse parses the command line and starts CPU profiling if -cpuprofile was
+// given; the profile runs until Close.
+func (a *App) Parse() {
+	flag.Parse()
+	if a.CPUProfile != "" {
+		f, err := os.Create(a.CPUProfile)
+		if err != nil {
+			a.Die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			a.Die(err)
+		}
+		a.cpuProf = f
+	}
+}
 
 // Runner returns the pipeline runner implied by the cache flags: disk-backed
 // when -cache-dir is set and -no-cache is not, memory-only otherwise.
@@ -90,9 +116,31 @@ func (a *App) Config() *exp.Config {
 	return c
 }
 
-// Close writes the run manifest if -manifest was given. Call it once, after
-// the command's work is done.
+// Close finishes the run's bookkeeping: it stops the CPU profile, writes the
+// heap profile, and writes the run manifest, each only if the corresponding
+// flag was given. Call it once, after the command's work is done.
 func (a *App) Close() {
+	if a.cpuProf != nil {
+		pprof.StopCPUProfile()
+		if err := a.cpuProf.Close(); err != nil {
+			a.Die(err)
+		}
+		a.cpuProf = nil
+	}
+	if a.MemProfile != "" {
+		f, err := os.Create(a.MemProfile)
+		if err != nil {
+			a.Die(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			a.Die(err)
+		}
+		if err := f.Close(); err != nil {
+			a.Die(err)
+		}
+	}
 	if a.Manifest == "" {
 		return
 	}

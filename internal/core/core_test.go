@@ -359,10 +359,23 @@ func TestSolverStatsReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.Solver == nil || res.Solver.Nodes < 1 {
-		t.Error("solver stats missing")
+		t.Fatal("solver stats missing")
 	}
 	if res.TotalEdges != pr.Graph.NumEdges() {
 		t.Errorf("TotalEdges = %d", res.TotalEdges)
+	}
+	s := res.Solver
+	if got := s.WarmSolves + s.ColdSolves + s.WarmFallbacks; got != s.LPIters {
+		t.Errorf("warm+cold+fallback = %d, want LPIters = %d", got, s.LPIters)
+	}
+	if s.LPPivots < 1 {
+		t.Errorf("LPPivots = %d, want ≥ 1", s.LPPivots)
+	}
+	if s.LPTime <= 0 {
+		t.Errorf("LPTime = %v, want > 0", s.LPTime)
+	}
+	if hr := s.WarmHitRate(); hr < 0 || hr > 1 {
+		t.Errorf("WarmHitRate = %v", hr)
 	}
 }
 

@@ -58,6 +58,13 @@ type solverStatsJSON struct {
 	LPIters     int     `json:"lp_iters"`
 	Workers     int     `json:"workers"`
 	SolveTimeNS int64   `json:"solve_time_ns"`
+	// Warm-start statistics (absent, i.e. zero, in artifacts written before
+	// the warm-started solver).
+	WarmSolves    int   `json:"warm_solves,omitempty"`
+	ColdSolves    int   `json:"cold_solves,omitempty"`
+	WarmFallbacks int   `json:"warm_fallbacks,omitempty"`
+	LPPivots      int   `json:"lp_pivots,omitempty"`
+	LPTimeNS      int64 `json:"lp_time_ns,omitempty"`
 }
 
 // solveArtifact is the cached outcome of one MILP solve. Infeasible outcomes
@@ -106,13 +113,18 @@ func (a *solveArtifact) toResult() (*core.Result, error) {
 		IndependentEdges:  a.IndependentEdges,
 		TotalEdges:        a.TotalEdges,
 		Solver: &milp.Result{
-			Status:    milp.Status(a.Solver.Status),
-			Objective: a.Solver.Objective,
-			Bound:     a.Solver.Bound,
-			Nodes:     a.Solver.Nodes,
-			LPIters:   a.Solver.LPIters,
-			Workers:   a.Solver.Workers,
-			SolveTime: time.Duration(a.Solver.SolveTimeNS),
+			Status:        milp.Status(a.Solver.Status),
+			Objective:     a.Solver.Objective,
+			Bound:         a.Solver.Bound,
+			Nodes:         a.Solver.Nodes,
+			LPIters:       a.Solver.LPIters,
+			Workers:       a.Solver.Workers,
+			SolveTime:     time.Duration(a.Solver.SolveTimeNS),
+			WarmSolves:    a.Solver.WarmSolves,
+			ColdSolves:    a.Solver.ColdSolves,
+			WarmFallbacks: a.Solver.WarmFallbacks,
+			LPPivots:      a.Solver.LPPivots,
+			LPTime:        time.Duration(a.Solver.LPTimeNS),
 		},
 	}, nil
 }
@@ -168,13 +180,18 @@ func (c *Config) Optimize(cats []core.Category, opts *core.Options) (*core.Resul
 			IndependentEdges:  res.IndependentEdges,
 			TotalEdges:        res.TotalEdges,
 			Solver: solverStatsJSON{
-				Status:      int(res.Solver.Status),
-				Objective:   res.Solver.Objective,
-				Bound:       res.Solver.Bound,
-				Nodes:       res.Solver.Nodes,
-				LPIters:     res.Solver.LPIters,
-				Workers:     res.Solver.Workers,
-				SolveTimeNS: res.Solver.SolveTime.Nanoseconds(),
+				Status:        int(res.Solver.Status),
+				Objective:     res.Solver.Objective,
+				Bound:         res.Solver.Bound,
+				Nodes:         res.Solver.Nodes,
+				LPIters:       res.Solver.LPIters,
+				Workers:       res.Solver.Workers,
+				SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
+				WarmSolves:    res.Solver.WarmSolves,
+				ColdSolves:    res.Solver.ColdSolves,
+				WarmFallbacks: res.Solver.WarmFallbacks,
+				LPPivots:      res.Solver.LPPivots,
+				LPTimeNS:      res.Solver.LPTime.Nanoseconds(),
 			},
 		}, nil
 	})

@@ -25,6 +25,11 @@ type ScalingRow struct {
 	FilterEnergyUJ float64
 	FullStatus     milp.Status
 	FilterStatus   milp.Status
+	// FullPivots and FullWarmHit describe the unfiltered solve's simplex
+	// work: total pivots across all node relaxations and the fraction of
+	// them that re-solved warm from a parent basis.
+	FullPivots  int
+	FullWarmHit float64
 }
 
 // Speedup returns full/filtered solve time.
@@ -88,6 +93,8 @@ func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Dur
 			FilterEnergyUJ: filt.PredictedEnergyUJ,
 			FullStatus:     full.Solver.Status,
 			FilterStatus:   filt.Solver.Status,
+			FullPivots:     full.Solver.LPPivots,
+			FullWarmHit:    full.Solver.WarmHitRate(),
 		}
 		return nil
 	})
@@ -102,7 +109,7 @@ func RenderSolverScaling(rows []ScalingRow) *Table {
 	t := &Table{
 		Title: "Solver scaling: filtering speedup vs CFG size (extends Figure 14)",
 		Headers: []string{"edges", "groups", "t(all)", "t(subset)", "speedup",
-			"E(all) µJ", "E(subset) µJ", "status(all)"},
+			"E(all) µJ", "E(subset) µJ", "pivots(all)", "warm(all)", "status(all)"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -112,6 +119,8 @@ func RenderSolverScaling(rows []ScalingRow) *Table {
 			fmt.Sprintf("%.1fx", r.Speedup()),
 			fmt.Sprintf("%.1f", r.FullEnergyUJ),
 			fmt.Sprintf("%.1f", r.FilterEnergyUJ),
+			fmt.Sprintf("%d", r.FullPivots),
+			fmt.Sprintf("%.0f%%", 100*r.FullWarmHit),
 			r.FullStatus.String(),
 		})
 	}

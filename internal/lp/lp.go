@@ -79,6 +79,9 @@ type Problem struct {
 	obj    []float64
 	lo, hi []float64
 	cons   []constraint
+	// rev counts mutations; Scratch uses it to invalidate its cached
+	// raw-row template when the problem changed between solves.
+	rev int
 }
 
 // NewProblem returns an empty linear program.
@@ -88,6 +91,7 @@ func NewProblem() *Problem { return &Problem{} }
 // bounds, returning its index. Pass math.Inf(1) for an unbounded-above
 // variable. The lower bound must be finite.
 func (p *Problem) AddVariable(obj, lo, hi float64) int {
+	p.rev++
 	p.obj = append(p.obj, obj)
 	p.lo = append(p.lo, lo)
 	p.hi = append(p.hi, hi)
@@ -95,7 +99,10 @@ func (p *Problem) AddVariable(obj, lo, hi float64) int {
 }
 
 // SetObjective replaces the objective coefficient of variable v.
-func (p *Problem) SetObjective(v int, c float64) { p.obj[v] = c }
+func (p *Problem) SetObjective(v int, c float64) {
+	p.rev++
+	p.obj[v] = c
+}
 
 // Objective returns the objective coefficient of variable v.
 func (p *Problem) Objective(v int) float64 { return p.obj[v] }
@@ -103,6 +110,7 @@ func (p *Problem) Objective(v int) float64 { return p.obj[v] }
 // SetBounds replaces the bounds of variable v. Branch-and-bound uses this to
 // fix binaries.
 func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.rev++
 	p.lo[v] = lo
 	p.hi[v] = hi
 }
@@ -127,6 +135,7 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) (int, error) {
 			compact = append(compact, Term{Var: v, Coef: c})
 		}
 	}
+	p.rev++
 	p.cons = append(p.cons, constraint{terms: compact, op: op, rhs: rhs})
 	return len(p.cons) - 1, nil
 }
@@ -197,6 +206,19 @@ type Solution struct {
 	Status    Status
 	X         []float64 // variable values (valid when Status == Optimal)
 	Objective float64   // cᵀx at X
+
+	// Basis snapshots the optimal basis for warm-starting related solves
+	// (nil unless Status == Optimal, or when the basis could not be
+	// captured cleanly). It is immutable and safe to share.
+	Basis *Basis
+	// Pivots counts tableau pivot operations this solve performed across
+	// all phases, including basis-restoration pivots on warm starts.
+	Pivots int
+	// Warm reports that the solve ran from the supplied starting basis.
+	Warm bool
+	// FellBack reports that a starting basis was supplied but rejected
+	// (validation or the dual phase failed) and the solve completed cold.
+	FellBack bool
 }
 
 // Options tunes the solver. The zero value selects defaults.
@@ -231,6 +253,19 @@ func (p *Problem) Solve(opts *Options) (*Solution, error) {
 // state — which makes SolveBounded safe to call from many goroutines on a
 // shared Problem; branch-and-bound workers use it to fix binaries per node.
 func (p *Problem) SolveBounded(opts *Options, overrides map[int]Bound) (*Solution, error) {
+	return p.SolveBoundedWarm(opts, overrides, nil)
+}
+
+// SolveBoundedWarm is SolveBounded with optional warm-start state. When
+// warm.Basis is set (typically Solution.Basis from a solve of the same
+// Problem under looser bounds) the solver restores that basis and re-solves
+// with a dual simplex phase instead of the two-phase cold start; when the
+// restoration or the dual phase fails validation it transparently falls back
+// to the cold solve, so the answer is never at risk. When warm.Scratch is
+// set the solve reuses its buffers and cached row template, making repeated
+// solves allocation-free; a Scratch must not be shared between concurrent
+// solves.
+func (p *Problem) SolveBoundedWarm(opts *Options, overrides map[int]Bound, warm *WarmStart) (*Solution, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -264,6 +299,32 @@ func (p *Problem) SolveBounded(opts *Options, overrides map[int]Bound) (*Solutio
 			return &Solution{Status: Infeasible}, nil
 		}
 	}
-	s := newSimplex(p, o, overrides)
-	return s.solve()
+
+	var basis *Basis
+	var sc *Scratch
+	if warm != nil {
+		basis, sc = warm.Basis, warm.Scratch
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	pivots := 0
+	if basis != nil {
+		s := newSimplex(p, o, overrides, sc)
+		if sol, ok := s.solveWarm(basis); ok {
+			return sol, nil
+		}
+		// The warm attempt mutated the tableau; rebuild from the template
+		// (a memcpy) and solve cold, carrying the wasted pivots into the
+		// solve's count so the work is not under-reported.
+		pivots = s.pivots
+	}
+	s := newSimplex(p, o, overrides, sc)
+	s.pivots = pivots
+	s.initColdBasis()
+	sol, err := s.solve()
+	if sol != nil && basis != nil {
+		sol.FellBack = true
+	}
+	return sol, err
 }

@@ -17,6 +17,7 @@ const (
 // variables.
 type simplex struct {
 	opt Options
+	scr *Scratch
 
 	n     int // structural variables
 	m     int // rows
@@ -26,7 +27,7 @@ type simplex struct {
 	cost   []float64 // phase-2 cost per column (artificials 0)
 
 	tab      [][]float64 // m rows × ncols, kept as B⁻¹A
-	rhs      []float64   // unused after init (kept for clarity of construction)
+	rhs      []float64   // unused after cold init; warm restore keeps B⁻¹b here
 	d        []float64   // reduced-cost row for the active phase
 	xb       []float64   // value of the basic variable of each row
 	basis    []int       // column basic in each row
@@ -44,69 +45,79 @@ type simplex struct {
 	// touch active columns, and basic columns are implicit identity.
 	active []int
 
-	iters int
-	bland bool // anti-cycling mode
+	iters  int
+	pivots int  // tableau pivot operations (all phases, incl. basis restore)
+	bland  bool // anti-cycling mode
 }
 
-func newSimplex(p *Problem, o Options, overrides map[int]Bound) *simplex {
-	n := len(p.obj)
-	m := len(p.cons)
-	s := &simplex{opt: o, n: n, m: m}
+// newSimplex builds the per-solve working state from the scratch's cached
+// raw-row template (a memcpy per row) and the solve's effective bounds. The
+// returned state has no basis yet: cold solves call initColdBasis, warm
+// solves call restoreBasis.
+//
+// Column layout: [0,n) structural, [n, n+m) slacks, artificials appended
+// after construction for rows whose slack start is infeasible. GE rows are
+// normalized to LE by negation so every slack has bounds [0, +inf) (or [0,0]
+// for equalities).
+func newSimplex(p *Problem, o Options, overrides map[int]Bound, sc *Scratch) *simplex {
+	sc.ensureTemplate(p)
+	n, m := sc.n, sc.m
+	s := &simplex{opt: o, scr: sc, n: n, m: m}
 
-	// Column layout: [0,n) structural, [n, n+m) slacks, artificials appended
-	// after construction for rows whose slack start is infeasible.
-	// GE rows are normalized to LE by negation so every slack has bounds
-	// [0, +inf) (or [0,0] for equalities).
-	s.lo = make([]float64, n+m, n+2*m)
-	s.hi = make([]float64, n+m, n+2*m)
-	s.cost = make([]float64, n+m, n+2*m)
+	nmax := n + 2*m // artificials never exceed one per row
+	s.lo = f64(&sc.lo, n+m, nmax)
+	s.hi = f64(&sc.hi, n+m, nmax)
+	s.cost = f64(&sc.cost, n+m, nmax)
 	copy(s.lo, p.lo)
 	copy(s.hi, p.hi)
 	copy(s.cost, p.obj)
+	for i := 0; i < m; i++ {
+		s.lo[n+i] = 0
+		s.hi[n+i] = sc.slackHi[i]
+		s.cost[n+i] = 0
+	}
 	for v, b := range overrides {
 		s.lo[v], s.hi[v] = b.Lo, b.Hi
 	}
 
-	rows := make([][]float64, m)
-	rhs := make([]float64, m)
-	for i, c := range p.cons {
-		row := make([]float64, n+m, n+2*m)
-		sign := 1.0
-		if c.op == GE {
-			sign = -1
-		}
-		for _, t := range c.terms {
-			row[t.Var] += sign * t.Coef
-		}
-		rhs[i] = sign * c.rhs
-		row[n+i] = 1 // slack
-		s.lo[n+i] = 0
-		if c.op == EQ {
-			s.hi[n+i] = 0
-		} else {
-			s.hi[n+i] = math.Inf(1)
-		}
-		rows[i] = row
+	// Working tableau rows slice the scratch slab with artificial headroom;
+	// append in addArtificial stays inside the slab.
+	w := n + m
+	sc.slab = growF(sc.slab, m*nmax)
+	if cap(sc.rows) < m {
+		sc.rows = make([][]float64, m)
 	}
-	s.tab = rows
-	s.rhs = rhs
+	s.tab = sc.rows[:m]
+	for i := 0; i < m; i++ {
+		row := sc.slab[i*nmax : i*nmax+w : (i+1)*nmax]
+		copy(row, sc.tslab[i*w:(i+1)*w])
+		s.tab[i] = row
+	}
+	s.rhs = f64(&sc.rhs, m, m)
+	copy(s.rhs, sc.trhs)
 
-	// Start all structural variables at their (finite) lower bound; compute
-	// row residuals to decide which rows need an artificial basic.
-	s.stat = make([]varStatus, n+m, n+2*m)
+	s.stat = stats(&sc.stat, n+m, nmax)
 	for j := 0; j < n+m; j++ {
 		s.stat[j] = atLower
 	}
-	s.basis = make([]int, m)
-	s.basicRow = make([]int, n+m, n+2*m)
+	s.basis = ints(&sc.basis, m, m)
+	s.basicRow = ints(&sc.basicRow, n+m, nmax)
 	for j := range s.basicRow {
 		s.basicRow[j] = -1
 	}
-	s.xb = make([]float64, m)
-	s.artOf = make([]int, m)
+	s.xb = f64(&sc.xb, m, m)
+	s.artOf = ints(&sc.artOf, m, m)
+	s.active = ints(&sc.active, 0, nmax)
+	return s
+}
 
+// initColdBasis starts all structural variables at their (finite) lower
+// bound and computes row residuals to decide which rows need an artificial
+// basic — the classical phase-1 starting point.
+func (s *simplex) initColdBasis() {
+	n, m := s.n, s.m
 	for i := 0; i < m; i++ {
-		r := rhs[i]
+		r := s.rhs[i]
 		for j := 0; j < n; j++ {
 			if s.tab[i][j] != 0 {
 				r -= s.tab[i][j] * s.lo[j]
@@ -125,7 +136,6 @@ func newSimplex(p *Problem, o Options, overrides map[int]Bound) *simplex {
 		s.setBasic(i, art)
 		s.xb[i] = math.Abs(r)
 	}
-	return s
 }
 
 // setBasic records column j as the basic variable of row i.
@@ -183,7 +193,7 @@ func (s *simplex) initCostRow(c []float64) {
 			s.active = append(s.active, j)
 		}
 	}
-	s.d = make([]float64, nc)
+	s.d = f64(&s.scr.d, nc, s.n+2*s.m)
 	copy(s.d, c)
 	for i := 0; i < s.m; i++ {
 		cb := c[s.basis[i]]
@@ -214,7 +224,7 @@ func (s *simplex) solve() (*Solution, error) {
 		s.initCostRow(phase1)
 		st := s.iterate(phase1)
 		if st == IterationLimit {
-			return &Solution{Status: IterationLimit}, nil
+			return &Solution{Status: IterationLimit, Pivots: s.pivots}, nil
 		}
 		// Total infeasibility = sum of artificial values.
 		infeas := 0.0
@@ -224,7 +234,7 @@ func (s *simplex) solve() (*Solution, error) {
 			}
 		}
 		if infeas > 1e-7 {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible, Pivots: s.pivots}, nil
 		}
 		s.evictArtificials(tol)
 		// Freeze artificials at zero for phase 2.
@@ -240,11 +250,16 @@ func (s *simplex) solve() (*Solution, error) {
 	st := s.iterate(s.cost)
 	switch st {
 	case IterationLimit:
-		return &Solution{Status: IterationLimit}, nil
+		return &Solution{Status: IterationLimit, Pivots: s.pivots}, nil
 	case Unbounded:
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded, Pivots: s.pivots}, nil
 	}
+	return s.extractSolution(), nil
+}
 
+// extractSolution reads the optimal point out of the final tableau and
+// snapshots the basis for warm-starting related solves.
+func (s *simplex) extractSolution() *Solution {
 	x := make([]float64, s.n)
 	for j := 0; j < s.n; j++ {
 		x[j] = s.value(j)
@@ -253,7 +268,7 @@ func (s *simplex) solve() (*Solution, error) {
 	for j := 0; j < s.n; j++ {
 		obj += s.cost[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+	return &Solution{Status: Optimal, X: x, Objective: obj, Pivots: s.pivots, Basis: s.snapshot()}
 }
 
 // evictArtificials pivots basic artificials (necessarily at value ~0 after a
@@ -318,7 +333,7 @@ func (s *simplex) iterate(c []float64) Status {
 		if flip {
 			// The entering variable traverses its whole range and rests at
 			// the opposite bound; the basis is unchanged.
-			col := columnOf(s.tab, enter)
+			col := s.columnOf(enter)
 			for i := 0; i < s.m; i++ {
 				if col[i] != 0 {
 					s.xb[i] -= limit * float64(dir) * col[i]
@@ -389,13 +404,13 @@ func (s *simplex) price(tol float64) (enter, dir int) {
 	return
 }
 
-// columnOf gathers column j of the tableau into a contiguous slice view.
+// columnOf gathers column j of the tableau into the scratch column buffer.
 // (The tableau is row-major; the ratio test and updates both need the
 // column, so collect it once.)
-func columnOf(tab [][]float64, j int) []float64 {
-	col := make([]float64, len(tab))
-	for i := range tab {
-		col[i] = tab[i][j]
+func (s *simplex) columnOf(j int) []float64 {
+	col := f64(&s.scr.col, s.m, s.m)
+	for i := range s.tab {
+		col[i] = s.tab[i][j]
 	}
 	return col
 }
@@ -454,7 +469,7 @@ func (s *simplex) ratioTest(enter, dir int, tol float64) (leaveRow int, limit fl
 // step executes a pivot: the entering variable moves by limit·dir, the basic
 // variable of leaveRow exits at the bound it reached.
 func (s *simplex) step(enter, dir, leaveRow int, limit float64) {
-	col := columnOf(s.tab, enter)
+	col := s.columnOf(enter)
 	for i := 0; i < s.m; i++ {
 		if col[i] != 0 {
 			s.xb[i] -= limit * float64(dir) * col[i]
@@ -480,6 +495,7 @@ func (s *simplex) step(enter, dir, leaveRow int, limit float64) {
 // column of row r, updating the reduced-cost row alongside. Only active
 // columns are updated (see the active field).
 func (s *simplex) pivot(r, enter int) {
+	s.pivots++
 	prow := s.tab[r]
 	p := prow[enter]
 	inv := 1 / p

@@ -6,8 +6,14 @@
 // The solver supports binary/integer restrictions on a subset of variables,
 // optional SOS1 group hints (sets of binaries that sum to one, which is the
 // dominant structure of the DVS formulation — one mode variable per
-// control-flow edge), best-bound node selection, most-fractional branching,
-// an SOS1 rounding heuristic for early incumbents, and node/time limits.
+// control-flow edge), best-bound node selection, objective-weighted
+// most-fractional branching, an SOS1 rounding heuristic for early incumbents,
+// and node/time limits.
+//
+// Node relaxations warm-start from the parent node's optimal basis via the
+// dual simplex phase in package lp (see Result's warm-start statistics and
+// Options.DisableWarmStart), falling back to a cold solve whenever a basis
+// fails validation.
 //
 // # Parallel search
 //
@@ -101,6 +107,12 @@ type Options struct {
 	// node-id) tie-break, the same incumbent on problems with a unique
 	// optimum; a given worker count is bit-for-bit reproducible run to run.
 	Workers int
+	// DisableWarmStart forces every node relaxation to solve cold from a
+	// fresh two-phase start instead of warm-starting from the parent's
+	// optimal basis. Benchmarking and debugging only; warm starts are on by
+	// default and fall back to cold solves automatically when a basis
+	// fails validation.
+	DisableWarmStart bool
 	// LP tunes the relaxation solver.
 	LP *lp.Options
 }
@@ -115,6 +127,41 @@ type Result struct {
 	LPIters   int       // total LP solves performed (incl. speculative batch solves)
 	Workers   int       // worker count the search ran with
 	SolveTime time.Duration
+
+	// Warm-start statistics. Every LP solve lands in exactly one of the
+	// three counters: WarmSolves re-solved from a parent basis via the dual
+	// simplex, WarmFallbacks attempted a warm start but completed cold
+	// after validation failed, and ColdSolves never had a basis (the root,
+	// the rounding heuristic, and every node when warm starts are
+	// disabled). All three are deterministic for a given worker count.
+	WarmSolves    int
+	ColdSolves    int
+	WarmFallbacks int
+	// LPPivots is the total simplex pivot count across all LP solves
+	// (including basis-restoration pivots), the search's work metric.
+	LPPivots int
+	// LPTime is the cumulative wall time spent inside the LP solver summed
+	// over all solves; with parallel workers it can exceed SolveTime.
+	LPTime time.Duration
+}
+
+// WarmHitRate returns the fraction of LP solves that completed from a warm
+// start (0 when nothing was solved).
+func (r *Result) WarmHitRate() float64 {
+	total := r.WarmSolves + r.ColdSolves + r.WarmFallbacks
+	if total == 0 {
+		return 0
+	}
+	return float64(r.WarmSolves) / float64(total)
+}
+
+// PivotsPerNode returns the mean simplex pivot count per committed node (0
+// when no nodes were committed).
+func (r *Result) PivotsPerNode() float64 {
+	if r.Nodes == 0 {
+		return 0
+	}
+	return float64(r.LPPivots) / float64(r.Nodes)
 }
 
 // bound aliases the LP solver's per-call variable box; branch-and-bound
@@ -122,12 +169,15 @@ type Result struct {
 type bound = lp.Bound
 
 // node is one branch-and-bound subproblem: bound overrides relative to the
-// root, the parent relaxation value used as its priority, and a creation id
-// that breaks priority ties deterministically.
+// root, the parent relaxation value used as its priority, a creation id
+// that breaks priority ties deterministically, and the parent's optimal
+// basis to warm-start this node's relaxation (nil solves cold). The basis
+// is immutable and shared by both children of a branching.
 type node struct {
 	id        int
 	overrides map[int]bound
 	lpBound   float64
+	basis     *lp.Basis
 }
 
 type nodeHeap []*node
@@ -177,9 +227,10 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	}
 
 	s := &search{
-		prob:  p,
-		opts:  o,
-		start: time.Now(),
+		prob:         p,
+		opts:         o,
+		start:        time.Now(),
+		coordScratch: lp.NewScratch(),
 	}
 	// Remember root bounds so per-node overrides can be composed with them.
 	s.rootLo = make([]float64, p.LP.NumVars())
@@ -190,6 +241,11 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	res := s.run()
 	res.Workers = o.Workers
 	res.SolveTime = time.Since(s.start)
+	res.WarmSolves = s.warm
+	res.ColdSolves = s.cold
+	res.WarmFallbacks = s.fellBack
+	res.LPPivots = s.lpPivots
+	res.LPTime = s.lpTime
 	return res, nil
 }
 
@@ -208,6 +264,17 @@ type search struct {
 	lpIters int
 	nextID  int
 
+	// coordScratch is the coordinator goroutine's reusable simplex state
+	// (root solve, rounding heuristic, serial node solves, and the head
+	// node of each parallel batch).
+	coordScratch *lp.Scratch
+
+	// Warm-start statistics, accumulated on the coordinator only (after
+	// each batch joins), so no synchronization is needed and the counts
+	// are deterministic for a given worker count.
+	warm, cold, fellBack, lpPivots int
+	lpTime                         time.Duration
+
 	// Worker pool (nil when Workers == 1). Jobs are per-node LP solves; the
 	// coordinator fans a batch out, waits on the batch WaitGroup, and then
 	// commits sequentially.
@@ -215,19 +282,26 @@ type search struct {
 	wg   sync.WaitGroup
 }
 
-// lpJob asks a worker to solve one node's relaxation into sols/errs[idx].
+// lpJob asks a worker to solve one node's relaxation into sols/errs[idx],
+// recording the solve's wall time in durs[idx].
 type lpJob struct {
 	nd   *node
 	idx  int
 	sols []*lp.Solution
 	errs []error
+	durs []time.Duration
 	done *sync.WaitGroup
 }
 
+// worker owns one lp.Scratch for its lifetime, so every node solve it
+// performs reuses the same tableau slab and row template.
 func (s *search) worker() {
 	defer s.wg.Done()
+	sc := lp.NewScratch()
 	for jb := range s.jobs {
-		jb.sols[jb.idx], jb.errs[jb.idx] = s.prob.LP.SolveBounded(s.opts.LP, jb.nd.overrides)
+		start := time.Now()
+		jb.sols[jb.idx], jb.errs[jb.idx] = s.solveNode(jb.nd, sc)
+		jb.durs[jb.idx] = time.Since(start)
 		jb.done.Done()
 	}
 }
@@ -236,11 +310,45 @@ func (s *search) timeUp() bool {
 	return s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit
 }
 
+// solveNode solves one node's relaxation, warm-starting from the parent
+// basis unless disabled. It does not touch search state: workers call it
+// concurrently with worker-local scratches.
+func (s *search) solveNode(nd *node, sc *lp.Scratch) (*lp.Solution, error) {
+	ws := &lp.WarmStart{Scratch: sc}
+	if !s.opts.DisableWarmStart {
+		ws.Basis = nd.basis
+	}
+	return s.prob.LP.SolveBoundedWarm(s.opts.LP, nd.overrides, ws)
+}
+
+// countSolve files one finished LP solve into the warm-start statistics.
+// Coordinator only.
+func (s *search) countSolve(sol *lp.Solution, d time.Duration) {
+	s.lpTime += d
+	if sol == nil {
+		return
+	}
+	s.lpPivots += sol.Pivots
+	switch {
+	case sol.Warm:
+		s.warm++
+	case sol.FellBack:
+		s.fellBack++
+	default:
+		s.cold++
+	}
+}
+
 // solveWith solves the relaxation under the given bound overrides on the
-// coordinator goroutine (the root relaxation and the rounding heuristic).
+// coordinator goroutine (the root relaxation and the rounding heuristic),
+// always cold: the heuristic fixes every binary at once, far from any
+// parent basis.
 func (s *search) solveWith(ov map[int]bound) (*lp.Solution, error) {
 	s.lpIters++
-	return s.prob.LP.SolveBounded(s.opts.LP, ov)
+	start := time.Now()
+	sol, err := s.prob.LP.SolveBoundedWarm(s.opts.LP, ov, &lp.WarmStart{Scratch: s.coordScratch})
+	s.countSolve(sol, time.Since(start))
+	return sol, err
 }
 
 // solveBatch solves every node's relaxation, fanning out across the worker
@@ -248,33 +356,51 @@ func (s *search) solveWith(ov map[int]bound) (*lp.Solution, error) {
 func (s *search) solveBatch(batch []*node) ([]*lp.Solution, []error) {
 	sols := make([]*lp.Solution, len(batch))
 	errs := make([]error, len(batch))
+	durs := make([]time.Duration, len(batch))
 	s.lpIters += len(batch)
 	if s.jobs == nil || len(batch) == 1 {
 		for i, nd := range batch {
-			sols[i], errs[i] = s.prob.LP.SolveBounded(s.opts.LP, nd.overrides)
+			start := time.Now()
+			sols[i], errs[i] = s.solveNode(nd, s.coordScratch)
+			durs[i] = time.Since(start)
 		}
-		return sols, errs
+	} else {
+		var done sync.WaitGroup
+		done.Add(len(batch) - 1)
+		for i := 1; i < len(batch); i++ {
+			s.jobs <- lpJob{nd: batch[i], idx: i, sols: sols, errs: errs, durs: durs, done: &done}
+		}
+		// The coordinator pulls its weight on the head node while workers run.
+		start := time.Now()
+		sols[0], errs[0] = s.solveNode(batch[0], s.coordScratch)
+		durs[0] = time.Since(start)
+		done.Wait()
 	}
-	var done sync.WaitGroup
-	done.Add(len(batch) - 1)
-	for i := 1; i < len(batch); i++ {
-		s.jobs <- lpJob{nd: batch[i], idx: i, sols: sols, errs: errs, done: &done}
+	for i := range sols {
+		s.countSolve(sols[i], durs[i])
 	}
-	// The coordinator pulls its weight on the head node while workers run.
-	sols[0], errs[0] = s.prob.LP.SolveBounded(s.opts.LP, batch[0].overrides)
-	done.Wait()
 	return sols, errs
 }
 
-// fractional returns the integer variable whose value is farthest from an
-// integer, or -1 if the point is integral within tolerance.
+// fractional picks the branching variable: the fractional integer variable
+// with the largest objective-weighted fractionality dist·(1+|c_v|), or -1 if
+// the point is integral within tolerance. The objective weight steers the
+// search toward the high-energy mode variables whose resolution moves the
+// bound most; it also makes tree shape far less sensitive to which of many
+// alternate optimal vertices the relaxation solver happens to return, which
+// matters because warm-started re-solves terminate at different (equally
+// optimal) vertices than cold solves on the highly degenerate DVS LPs.
 func (s *search) fractional(x []float64) int {
-	best, bestDist := -1, s.opts.IntTol
+	best, bestScore := -1, 0.0
 	for _, v := range s.prob.Integers {
 		f := x[v] - math.Floor(x[v])
 		dist := math.Min(f, 1-f)
-		if dist > bestDist {
-			best, bestDist = v, dist
+		if dist <= s.opts.IntTol {
+			continue
+		}
+		score := dist * (1 + math.Abs(s.prob.LP.Objective(v)))
+		if score > bestScore {
+			best, bestScore = v, score
 		}
 	}
 	return best
@@ -380,7 +506,7 @@ func (s *search) run() *Result {
 		}()
 	}
 
-	h := &nodeHeap{{id: 0, overrides: map[int]bound{}, lpBound: rootSol.Objective}}
+	h := &nodeHeap{{id: 0, overrides: map[int]bound{}, lpBound: rootSol.Objective, basis: rootSol.Basis}}
 	heap.Init(h)
 	s.nextID = 1
 	bestBound := rootSol.Objective
@@ -455,8 +581,10 @@ func (s *search) run() *Result {
 			down[branch] = bound{Lo: lo, Hi: math.Floor(f)}
 			up := cloneOverrides(nd.overrides)
 			up[branch] = bound{Lo: math.Ceil(f), Hi: hi}
-			heap.Push(h, &node{id: s.nextID, overrides: down, lpBound: sol.Objective})
-			heap.Push(h, &node{id: s.nextID + 1, overrides: up, lpBound: sol.Objective})
+			// Both children warm-start from this node's optimal basis: the
+			// tightened bound leaves it dual feasible (see lp/warm.go).
+			heap.Push(h, &node{id: s.nextID, overrides: down, lpBound: sol.Objective, basis: sol.Basis})
+			heap.Push(h, &node{id: s.nextID + 1, overrides: up, lpBound: sol.Objective, basis: sol.Basis})
 			s.nextID += 2
 		}
 	}

