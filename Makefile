@@ -19,20 +19,21 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# The solver/pipeline benchmarks that rewrite BENCH_milp.json and
-# BENCH_pipeline.json: serial MILP (warm vs cold inline), parallel MILP, and
-# the artifact-store replay. bench-all runs everything.
+# The solver/pipeline/profiling benchmarks that rewrite BENCH_milp.json,
+# BENCH_pipeline.json and BENCH_profile.json: serial MILP (warm vs cold
+# inline), parallel MILP, the artifact-store replay, and recorded-vs-per-mode
+# profile collection. bench-all runs everything.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm)$$' -benchmem .
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect)$$' -benchmem .
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # The PR gate: vet, full build, the whole test suite, and the race detector
 # over the packages with real concurrency (pipeline singleflight, experiment
-# fan-out, parallel branch-and-bound).
+# fan-out, parallel branch-and-bound, concurrent replay of shared recordings).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp
+	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile

@@ -274,14 +274,74 @@ func BenchmarkSimulatorMpeg(b *testing.B) {
 	b.ReportMetric(cycles/b.Elapsed().Seconds()*float64(b.N)/1e6, "Mcycles/s")
 }
 
+// profileBenchRecord is the schema of BENCH_profile.json.
+type profileBenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	Levels       int     `json:"levels"`
+	PerModeNsOp  float64 `json:"per_mode_ns_per_op"`
+	RecordedNsOp float64 `json:"recorded_ns_per_op"`
+	Speedup      float64 `json:"speedup_recorded_vs_per_mode"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// BenchmarkProfileCollect measures what record-once/replay-per-mode buys: the
+// timed loop runs profile.Collect (one instrumented simulation plus a batched
+// replay for the other modes) over the 7-level mode set, against an inline
+// per-mode baseline (7 full simulations). The two profiles are checked
+// bit-identical via the canonical codec, and the record lands in
+// BENCH_profile.json.
 func BenchmarkProfileCollect(b *testing.B) {
 	spec := workloads.Gsm(benchScale)
+	const levels = 7
+	ms, err := volt.Levels(levels)
+	if err != nil {
+		b.Fatal(err)
+	}
 	m := sim.MustNew(sim.DefaultConfig())
+
+	pmStart := time.Now()
+	baseline, err := profile.CollectPerMode(m, spec.Program, spec.Inputs[0], ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pmNs := float64(time.Since(pmStart).Nanoseconds())
+
 	b.ResetTimer()
+	var pr *profile.Profile
 	for i := 0; i < b.N; i++ {
-		if _, err := profile.Collect(m, spec.Program, spec.Inputs[0], volt.XScale3()); err != nil {
+		if pr, err = profile.Collect(m, spec.Program, spec.Inputs[0], ms); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+
+	wantEnc, err := profile.Encode(baseline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gotEnc, err := profile.Encode(pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if string(wantEnc) != string(gotEnc) {
+		b.Fatal("replayed profile is not bit-identical to the per-mode profile")
+	}
+	recNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	rec := profileBenchRecord{
+		Benchmark:    spec.Name,
+		Levels:       levels,
+		PerModeNsOp:  pmNs,
+		RecordedNsOp: recNs,
+		Speedup:      pmNs / recNs,
+		BitIdentical: true,
+	}
+	b.ReportMetric(rec.Speedup, "speedup-vs-per-mode")
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_profile.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

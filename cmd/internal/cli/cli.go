@@ -33,6 +33,12 @@ type App struct {
 	NoCache  bool
 	Manifest string
 
+	// PerModeProfile disables the record-once/replay-per-mode profiling path
+	// and simulates every mode of every profile instead. The numbers are
+	// bit-identical either way; the flag exists for cross-checking and for
+	// memory-constrained runs.
+	PerModeProfile bool
+
 	// SolveLimit and Workers are registered by SolveFlags.
 	SolveLimit time.Duration
 	Workers    int
@@ -56,6 +62,8 @@ func New(name string) *App {
 		"ignore -cache-dir and recompute everything (artifacts stay in memory for this run)")
 	flag.StringVar(&a.Manifest, "manifest", "",
 		"write a JSON run manifest (per-stage cache hits, misses and timings) to this file")
+	flag.BoolVar(&a.PerModeProfile, "per-mode-profile", false,
+		"simulate every mode when profiling instead of recording one event stream and replaying it (bit-identical, slower)")
 	flag.StringVar(&a.CPUProfile, "cpuprofile", "",
 		"write a pprof CPU profile of the whole run to this file")
 	flag.StringVar(&a.MemProfile, "memprofile", "",
@@ -113,6 +121,7 @@ func (a *App) Runner() *pipeline.Runner {
 func (a *App) Config() *exp.Config {
 	c := exp.NewConfig(a.Scale)
 	c.Pipeline = a.Runner()
+	c.DisableRecording = a.PerModeProfile
 	return c
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ctdvs/internal/pipeline"
+	"ctdvs/internal/profile"
 )
 
 // cachedConfig returns a test config whose pipeline persists to dir.
@@ -92,6 +93,59 @@ func TestWarmRunHitsEverything(t *testing.T) {
 
 	if !bytes.Equal(coldOut, warmOut) {
 		t.Errorf("warm output differs from cold output\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+}
+
+// TestRecordingSharedAcrossModeSets pins the single-simulation property: the
+// record stage runs one simulation per (benchmark, input), and every further
+// mode set — in-process or from a warm store — replays the cached stream
+// instead of simulating.
+func TestRecordingSharedAcrossModeSets(t *testing.T) {
+	dir := t.TempDir()
+
+	a := cachedConfig(t, dir)
+	pr3, err := a.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Profile("adpcm/encode", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	stats := a.Pipeline.Manifest().Stats()
+	if s := stats[pipeline.StageRecording]; s.Misses != 1 || s.MemHits != 1 {
+		t.Errorf("two mode sets should share one recording: %+v", s)
+	}
+	if s := stats[pipeline.StageProfile]; s.Misses != 2 {
+		t.Errorf("expected two distinct profile computations: %+v", s)
+	}
+
+	// Fresh process-equivalent: a third mode set replays the stored stream —
+	// a record-stage disk hit, zero simulations.
+	b := cachedConfig(t, dir)
+	if _, err := b.Profile("adpcm/encode", 0, 13); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Pipeline.Manifest().Stats()[pipeline.StageRecording]; s.Misses != 0 || s.DiskHits != 1 {
+		t.Errorf("warm recording was not served from disk: %+v", s)
+	}
+
+	// The replayed profile is bit-identical to a per-mode-simulated one.
+	d := testConfig()
+	d.DisableRecording = true
+	prPM, err := d.Profile("adpcm/encode", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := profile.Encode(pr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := profile.Encode(prPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Error("replayed profile differs from per-mode profile")
 	}
 }
 

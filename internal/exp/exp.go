@@ -10,6 +10,7 @@ package exp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"ctdvs/internal/milp"
 	"ctdvs/internal/pipeline"
 	"ctdvs/internal/profile"
+	"ctdvs/internal/schedfile"
 	"ctdvs/internal/sim"
 	"ctdvs/internal/volt"
 	"ctdvs/internal/workloads"
@@ -46,10 +48,16 @@ type Config struct {
 	// category-set, deadline) cells run on up to this many goroutines.
 	// 0 selects runtime.GOMAXPROCS(0); 1 runs every cell sequentially.
 	Workers int
-	// Pipeline resolves profile/solve/validate stages. NewConfig installs a
-	// memory-only runner; attach a disk-backed one (pipeline.NewRunner over a
-	// pipeline.Store) to persist artifacts across processes.
+	// Pipeline resolves record/profile/solve/validate stages. NewConfig
+	// installs a memory-only runner; attach a disk-backed one
+	// (pipeline.NewRunner over a pipeline.Store) to persist artifacts across
+	// processes.
 	Pipeline *pipeline.Runner
+	// DisableRecording forces per-mode simulation for every profile instead
+	// of the record-once/replay-per-mode path. The results are bit-identical
+	// either way (see profile.Collect); this is an escape hatch for
+	// cross-checking and for memory-constrained runs.
+	DisableRecording bool
 
 	mu           sync.Mutex
 	specs        map[string]*workloads.Spec
@@ -124,6 +132,13 @@ func (c *Config) Spec(name string) (*workloads.Spec, error) {
 // concurrent callers block only on the key they ask for, repeated in-process
 // calls return the identical *profile.Profile, and with a disk store attached
 // the collection is skipped entirely on repeated runs.
+//
+// The profile is replayed from the pipeline's record stage — one recorded
+// simulation per (benchmark, input) whose mode-invariant event stream serves
+// every mode set — so asking for 3-, 7- and 13-level profiles of one input
+// costs one simulation, not 23. Workloads outside the recording envelope
+// (and every workload when DisableRecording is set) fall back to per-mode
+// simulation with bit-identical results.
 func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile, error) {
 	spec, err := c.Spec(bench)
 	if err != nil {
@@ -144,9 +159,39 @@ func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile,
 		},
 	}
 	return pipeline.Run(c.runner(), st, c.profileKey(bench, input, levels), func() (*profile.Profile, error) {
+		if !c.DisableRecording {
+			rec, err := c.recording(spec, bench, input)
+			if err == nil {
+				return profile.FromRecording(rec, spec.Program, spec.Inputs[input], ms)
+			}
+			if !errors.Is(err, sim.ErrUnrecordable) {
+				return nil, err
+			}
+		}
 		m := c.acquireMachine()
 		defer c.releaseMachine(m)
-		return profile.Collect(m, spec.Program, spec.Inputs[input], ms)
+		return profile.CollectPerMode(m, spec.Program, spec.Inputs[input], ms)
+	})
+}
+
+// recording returns (and caches) the replayable event stream of one benchmark
+// input via the pipeline's record stage. The recording run itself happens at
+// the fastest XScale mode, but the captured stream is mode-invariant, so the
+// artifact is shared by every mode set — a second Profile call with a
+// different level count replays the cached stream instead of simulating.
+func (c *Config) recording(spec *workloads.Spec, bench string, input int) (*sim.Recording, error) {
+	st := pipeline.Stage[*sim.Recording]{
+		Kind:   pipeline.StageRecording,
+		Encode: schedfile.EncodeRecording,
+		Decode: func(data []byte) (*sim.Recording, error) {
+			return schedfile.DecodeRecording(data, spec.Program, spec.Inputs[input], c.Machine.Config())
+		},
+	}
+	return pipeline.Run(c.runner(), st, c.recordKey(bench, input), func() (*sim.Recording, error) {
+		m := c.acquireMachine()
+		defer c.releaseMachine(m)
+		rec, _, err := m.Record(spec.Program, spec.Inputs[input], volt.XScale3().Max())
+		return rec, err
 	})
 }
 

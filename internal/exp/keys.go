@@ -30,6 +30,7 @@ func addSimConfig(b *pipeline.KeyBuilder, mc sim.Config) {
 	b.Float("static_power_mw", mc.StaticPowerMW)
 	b.Int("predictor_entries", int64(mc.PredictorEntries))
 	b.Int("mispredict_penalty", int64(mc.MispredictPenaltyCycles))
+	b.Int("record_budget_events", int64(mc.RecordBudgetEvents))
 	b.Float("ceff_compute_nf", mc.CeffComputeNF)
 	b.Float("ceff_l1_nf", mc.CeffL1NF)
 	b.Float("ceff_l2_nf", mc.CeffL2NF)
@@ -55,6 +56,18 @@ func addMILPOptions(b *pipeline.KeyBuilder, o *milp.Options) {
 		b.Int("milp.lp.max_iters", int64(o.LP.MaxIters))
 		b.Float("milp.lp.tol", o.LP.Tol)
 	}
+}
+
+// recordKey addresses one event-stream recording. It deliberately omits the
+// mode-set levels: the stream is mode-invariant, so one recording per
+// (workload, input, scale, machine) serves every mode set replayed from it.
+func (c *Config) recordKey(bench string, input int) pipeline.Key {
+	b := pipeline.NewKey(pipeline.StageRecording)
+	b.Str("bench", bench)
+	b.Int("input", int64(input))
+	b.Float("scale", c.Scale)
+	addSimConfig(b, c.Machine.Config())
+	return b.Sum()
 }
 
 // profileKey addresses one profile-collection run.

@@ -137,10 +137,11 @@ func TestTracerWithSimulator(t *testing.T) {
 	m.EdgeHook = nil
 	tr.Finish()
 
-	// Total paths = back-edge traversals + 1.
+	// Total paths = back-edge traversals + 1. EdgeCountsByID follows the
+	// graph's edge numbering, so counts pair with g.Edges without map lookups.
 	backTraversals := int64(0)
-	for e, c := range res.EdgeCounts {
-		if e.From != cfg.Entry && n.IsBackEdge(e) {
+	for id, c := range res.EdgeCountsByID {
+		if e := g.Edges[id]; e.From != cfg.Entry && n.IsBackEdge(e) {
 			backTraversals += c
 		}
 	}
@@ -261,8 +262,8 @@ func TestNestedLoops(t *testing.T) {
 	m.EdgeHook = nil
 	tr.Finish()
 	backTraversals := int64(0)
-	for e, c := range res.EdgeCounts {
-		if e.From != cfg.Entry && n.IsBackEdge(e) {
+	for id, c := range res.EdgeCountsByID {
+		if e := g.Edges[id]; e.From != cfg.Entry && n.IsBackEdge(e) {
 			backTraversals += c
 		}
 	}

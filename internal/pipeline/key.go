@@ -31,6 +31,7 @@ type Kind string
 
 // Canonical stage kinds.
 const (
+	StageRecording Kind = "record"    // event-stream recording (one per workload input)
 	StageProfile   Kind = "profile"   // per-category profiling runs (§4.1)
 	StageFilter    Kind = "filter"    // edge-space filtering (§5.2)
 	StageFormulate Kind = "formulate" // MILP construction (§4.2–4.3)

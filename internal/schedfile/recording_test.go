@@ -1,0 +1,114 @@
+package schedfile
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ctdvs/internal/ir"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+func recordingFixture(t *testing.T) (*ir.Program, ir.Input, sim.Config, *sim.Recording) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	b := ir.NewBuilder("codec")
+	s := b.SequentialStream(32 << 10)
+	r := b.RandomStream(64 << 10)
+	head := b.Block("head")
+	body := b.Block("body")
+	tail := b.Block("tail")
+	head.Compute(7).Load(s)
+	b.LoopBranch(head, head, body, 40)
+	body.Load(r).DependentCompute(5).Store(s)
+	b.ProbBranch(body, head, tail, 0.4)
+	tail.Compute(3)
+	tail.Exit()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ir.Input{Name: "in", Seed: rng.Int63()}
+	mc := sim.DefaultConfig()
+	rec, _, err := sim.MustNew(mc).Record(p, in, volt.XScale3().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, in, mc, rec
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	p, in, mc, rec := recordingFixture(t)
+	data, err := EncodeRecording(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecording(data, p, in, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Errorf("round trip changed the recording:\nwant %+v\ngot  %+v", rec, got)
+	}
+	// The decoded recording is bound and replays identically to the original.
+	want, err := rec.ReplayAll(volt.XScale3().Modes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := got.ReplayAll(volt.XScale3().Modes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, replayed) {
+		t.Error("decoded recording replays differently")
+	}
+	// Determinism: encoding the decoded recording reproduces the bytes.
+	data2, err := EncodeRecording(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("encode(decode(encode)) is not byte-identical")
+	}
+}
+
+func TestDecodeRecordingRejectsMismatches(t *testing.T) {
+	p, in, mc, rec := recordingFixture(t)
+	data, err := EncodeRecording(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := mc
+	otherCfg.MemLatencyUS *= 2
+	if _, err := DecodeRecording(data, p, in, otherCfg); err == nil || !strings.Contains(err.Error(), "machine") {
+		t.Errorf("config mismatch: err = %v", err)
+	}
+	if _, err := DecodeRecording(data, p, ir.Input{Name: "other", Seed: in.Seed}, mc); err == nil {
+		t.Error("input mismatch accepted")
+	}
+
+	b := ir.NewBuilder("codec") // same name, different structure
+	blk := b.Block("only")
+	blk.Compute(1)
+	blk.Exit()
+	p2, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRecording(data, p2, in, mc); err == nil {
+		t.Error("structurally different program accepted")
+	}
+
+	// Corrupted streams must be rejected by Bind's validation, not crash.
+	tampered := strings.Replace(string(data), `"trace_len":`+strconv.Itoa(len(rec.Trace)), `"trace_len":`+strconv.Itoa(len(rec.Trace)-1), 1)
+	if tampered == string(data) {
+		t.Fatal("tamper had no effect")
+	}
+	if _, err := DecodeRecording([]byte(tampered), p, in, mc); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}

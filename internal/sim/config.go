@@ -66,6 +66,16 @@ type Config struct {
 	// MispredictPenaltyCycles is the pipeline refill penalty.
 	MispredictPenaltyCycles int
 
+	// RecordBudgetEvents bounds the size of the event stream Machine.Record
+	// may capture, in events (block executions + memory accesses + executed
+	// branches); a run that would exceed it aborts recording with
+	// ErrUnrecordable and callers fall back to per-mode simulation. Zero
+	// selects DefaultRecordBudget; a negative value disables recording
+	// entirely (every Record reports ErrUnrecordable). The budget is checked
+	// at block granularity, so the captured stream may overshoot it by the
+	// events of one block.
+	RecordBudgetEvents int
+
 	// Effective switched capacitance per activity, in nanofarads: energy per
 	// event is Ceff·V² nanojoules (reported in µJ). Calibrated so a ~1.65 V,
 	// 800 MHz run dissipates on the order of 1 W, matching Wattch-era

@@ -37,7 +37,17 @@ type Result struct {
 	Blocks     []BlockStat
 	EdgeCounts map[cfg.Edge]int64
 	PathCounts map[cfg.Path]int64
-	Params     Params
+
+	// EdgeCountsByID and PathCountsByID are the dense counterparts of
+	// EdgeCounts/PathCounts, indexed by the canonical cfg.FromProgram
+	// numbering: EdgeCountsByID[g.EdgeID(e)] is the traversal count of e
+	// (the virtual entry edge is index 0), and PathCountsByID[i] counts
+	// g.Paths[i]. Zero entries are present (the maps omit them). Profiling
+	// consumes these directly; the maps remain for external callers.
+	EdgeCountsByID []int64
+	PathCountsByID []int64
+
+	Params Params
 
 	L1Hits, L2Hits, MemMisses int64
 	Branches, Mispredicts     int64
@@ -77,6 +87,13 @@ type Machine struct {
 	l1   *cache
 	l2   *cache
 	pred *predictor
+
+	// rec is non-nil only while Record's instrumented run is in flight;
+	// scratch is the reusable recorder buffer it points at, retained across
+	// recordings (and across pool borrowers, see exp.Config) so steady-state
+	// recording allocates nothing beyond the sealed Recording itself.
+	rec     *recorder
+	scratch *recorder
 
 	// EdgeHook, when non-nil, is invoked on every control-flow edge
 	// traversal (including the virtual entry edge, with from == cfg.Entry)
@@ -121,6 +138,7 @@ func (m *Machine) Reset() {
 	m.l2.reset()
 	m.pred.reset()
 	m.EdgeHook = nil
+	m.rec = nil
 }
 
 // Run simulates the program on the given input entirely at one DVS mode.
@@ -172,6 +190,15 @@ type blockInfo struct {
 	// dvsMode[s] is the mode set by edge (this block → succs[s]); -1 keeps
 	// the current mode.
 	dvsMode []int
+	// edgeBase is the cfg.FromProgram ID of edge (this block → succs[0]);
+	// successor s is edge edgeBase+s (the virtual entry edge is ID 0).
+	// pathBase is the index of the block's first local path in cfg's
+	// (Mid, In, Out)-sorted path list: the path preds[h] → block → succs[s]
+	// has index pathBase + h·len(succs) + succRank[s], where succRank ranks
+	// the successors by ascending block ID (preds are already ascending).
+	edgeBase int
+	pathBase int
+	succRank []int
 }
 
 func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, initial volt.Mode) (*Result, error) {
@@ -182,7 +209,7 @@ func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, 
 	m.l2.reset()
 	m.pred.reset()
 
-	info, maxCond := buildBlockInfo(p, sched)
+	info, maxCond, numEdges, numPaths := buildBlockInfo(p, sched)
 	res := &Result{
 		Program: p.Name,
 		Input:   in.Name,
@@ -293,6 +320,9 @@ func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, 
 		blk := p.Blocks[cur]
 		bs := &res.Blocks[cur]
 		bs.Invocations++
+		if m.rec != nil && !m.rec.addBlock(uint32(cur)) {
+			return nil, errf("program %q exceeded the recording budget of %d events", p.Name, m.rec.budget)
+		}
 		blockStartTime := timeUS
 		blockStartEnergy := energyUJ
 
@@ -337,7 +367,8 @@ func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, 
 			res.TimeUS = timeUS
 			res.LeakageEnergyUJ = m.cfg.StaticPowerMW * timeUS * 1e-3
 			res.EnergyUJ = energyUJ + res.LeakageEnergyUJ
-			res.EdgeCounts, res.PathCounts = toMaps(info, gcount, dcount, entryCount)
+			res.EdgeCountsByID, res.PathCountsByID = toDense(info, gcount, dcount, entryCount, numEdges, numPaths)
+			res.EdgeCounts, res.PathCounts = countMaps(info, res.EdgeCountsByID, res.PathCountsByID)
 			return res, nil
 		case ir.Jump:
 			next = t.To
@@ -356,7 +387,11 @@ func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, 
 				taken = rng.Float64() < in.ProbFor(c)
 			}
 			res.Branches++
-			if !m.pred.predictAndUpdate(cur, taken) {
+			hit := m.pred.predictAndUpdate(cur, taken)
+			if m.rec != nil {
+				m.rec.addBranch(!hit)
+			}
+			if !hit {
 				res.Mispredicts++
 				pen := int64(m.cfg.MispredictPenaltyCycles)
 				timeUS += float64(pen) / f
@@ -432,6 +467,9 @@ func (m *Machine) memAccess(p *ir.Program, stream int, streamOff []int64, rng *r
 	if m.l1.access(addr) {
 		res.L1Hits++
 		res.Params.NCache += l1Cycles
+		if m.rec != nil {
+			m.rec.addMem(memL1Hit)
+		}
 		return timeUS, energyUJ
 	}
 	// L2 lookup.
@@ -441,6 +479,9 @@ func (m *Machine) memAccess(p *ir.Program, stream int, streamOff []int64, rng *r
 	if m.l2.access(addr) {
 		res.L2Hits++
 		res.Params.NCache += l1Cycles + l2Cycles
+		if m.rec != nil {
+			m.rec.addMem(memL2Hit)
+		}
 		return timeUS, energyUJ
 	}
 	// Main memory: asynchronous, non-blocking for the CPU (dependent
@@ -448,6 +489,9 @@ func (m *Machine) memAccess(p *ir.Program, stream int, streamOff []int64, rng *r
 	// earliest-free channel.
 	res.MemMisses++
 	res.Params.NCache += l1Cycles + l2Cycles
+	if m.rec != nil {
+		m.rec.addMem(memMiss)
+	}
 	ch := 0
 	for k := 1; k < len(memChans); k++ {
 		if memChans[k] < memChans[ch] {
@@ -463,11 +507,14 @@ func (m *Machine) memAccess(p *ir.Program, stream int, streamOff []int64, rng *r
 	return timeUS, energyUJ
 }
 
-// buildBlockInfo precomputes predecessor/successor indexing and per-edge DVS
-// mode assignments. It also returns the largest condition ID in use.
-func buildBlockInfo(p *ir.Program, sched *Schedule) ([]blockInfo, int) {
+// buildBlockInfo precomputes predecessor/successor indexing, per-edge DVS
+// mode assignments, and the dense edge/path numbering that mirrors
+// cfg.FromProgram (entry edge first, then blocks in ID order with successors
+// in terminator order; paths sorted by (Mid, In, Out)). It also returns the
+// largest condition ID in use and the total edge and path counts.
+func buildBlockInfo(p *ir.Program, sched *Schedule) (info []blockInfo, maxCond, numEdges, numPaths int) {
 	n := len(p.Blocks)
-	info := make([]blockInfo, n)
+	info = make([]blockInfo, n)
 	for i := range info {
 		info[i].predIdx = make(map[int]int)
 		info[i].succIdx = make(map[int]int)
@@ -481,7 +528,6 @@ func buildBlockInfo(p *ir.Program, sched *Schedule) ([]blockInfo, int) {
 		bi.preds = append(bi.preds, pred)
 	}
 	addPred(0, cfg.Entry)
-	maxCond := 0
 	for _, b := range p.Blocks {
 		bi := &info[b.ID]
 		for _, t := range b.Term.Targets() {
@@ -505,9 +551,11 @@ func buildBlockInfo(p *ir.Program, sched *Schedule) ([]blockInfo, int) {
 			}
 		}
 	}
+	numEdges = 1 // the virtual entry edge
 	for i := range info {
 		bi := &info[i]
 		bi.dvsMode = make([]int, len(bi.succs))
+		bi.succRank = make([]int, len(bi.succs))
 		for s, to := range bi.succs {
 			bi.dvsMode[s] = -1
 			if sched != nil {
@@ -515,28 +563,59 @@ func buildBlockInfo(p *ir.Program, sched *Schedule) ([]blockInfo, int) {
 					bi.dvsMode[s] = mi
 				}
 			}
+			for _, other := range bi.succs {
+				if other < to {
+					bi.succRank[s]++
+				}
+			}
 		}
+		bi.edgeBase = numEdges
+		numEdges += len(bi.succs)
+		bi.pathBase = numPaths
+		numPaths += len(bi.preds) * len(bi.succs)
 	}
-	return info, maxCond
+	return info, maxCond, numEdges, numPaths
 }
 
-// toMaps converts the dense traversal counters into the edge/path maps of
-// the Result.
-func toMaps(info []blockInfo, gcount [][]int64, dcount [][][]int64, entryCount int64) (map[cfg.Edge]int64, map[cfg.Path]int64) {
-	edges := make(map[cfg.Edge]int64)
-	paths := make(map[cfg.Path]int64)
-	edges[cfg.Edge{From: cfg.Entry, To: 0}] = entryCount
+// toDense converts the traversal counters into the cfg-numbered dense edge
+// and path count arrays.
+func toDense(info []blockInfo, gcount [][]int64, dcount [][][]int64, entryCount int64, numEdges, numPaths int) ([]int64, []int64) {
+	edges := make([]int64, numEdges)
+	paths := make([]int64, numPaths)
+	edges[0] = entryCount
 	for i := range info {
 		bi := &info[i]
+		ns := len(bi.succs)
+		for s := range bi.succs {
+			edges[bi.edgeBase+s] = gcount[i][s]
+		}
+		for h := range bi.preds {
+			for s := range bi.succs {
+				paths[bi.pathBase+h*ns+bi.succRank[s]] = dcount[i][h][s]
+			}
+		}
+	}
+	return edges, paths
+}
+
+// countMaps derives the edge/path maps of the Result from the dense counts.
+// Zero counts are omitted, except the entry edge, which is always present.
+func countMaps(info []blockInfo, edgesByID, pathsByID []int64) (map[cfg.Edge]int64, map[cfg.Path]int64) {
+	edges := make(map[cfg.Edge]int64)
+	paths := make(map[cfg.Path]int64)
+	edges[cfg.Edge{From: cfg.Entry, To: 0}] = edgesByID[0]
+	for i := range info {
+		bi := &info[i]
+		ns := len(bi.succs)
 		for s, to := range bi.succs {
-			if gcount[i][s] > 0 {
-				edges[cfg.Edge{From: i, To: to}] = gcount[i][s]
+			if c := edgesByID[bi.edgeBase+s]; c > 0 {
+				edges[cfg.Edge{From: i, To: to}] = c
 			}
 		}
 		for h, pred := range bi.preds {
 			for s, to := range bi.succs {
-				if dcount[i][h][s] > 0 {
-					paths[cfg.Path{In: pred, Mid: i, Out: to}] = dcount[i][h][s]
+				if c := pathsByID[bi.pathBase+h*ns+bi.succRank[s]]; c > 0 {
+					paths[cfg.Path{In: pred, Mid: i, Out: to}] = c
 				}
 			}
 		}
