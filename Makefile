@@ -19,21 +19,25 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# The solver/pipeline/profiling benchmarks that rewrite BENCH_milp.json,
-# BENCH_pipeline.json and BENCH_profile.json: serial MILP (warm vs cold
-# inline), parallel MILP, the artifact-store replay, and recorded-vs-per-mode
-# profile collection. bench-all runs everything.
+# The solver/pipeline/profiling/simulator benchmarks that rewrite
+# BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json and BENCH_sim.json:
+# serial MILP (warm vs cold inline), parallel MILP, the artifact-store replay,
+# recorded-vs-per-mode profile collection, and the compiled simulator kernel
+# vs the reference interpreter. bench-all runs everything.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect)$$' -benchmem .
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel)$$' -benchmem .
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# The PR gate: vet, full build, the whole test suite, and the race detector
-# over the packages with real concurrency (pipeline singleflight, experiment
-# fan-out, parallel branch-and-bound, concurrent replay of shared recordings).
+# The PR gate: vet, full build, the whole test suite, the race detector over
+# the packages with real concurrency (pipeline singleflight, experiment
+# fan-out, parallel branch-and-bound, concurrent replay of shared recordings),
+# and the perf-record gate (no committed BENCH_*.json may claim a speedup
+# below 1.0).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile
+	$(GO) run ./internal/tools/benchcheck

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -508,6 +509,121 @@ func BenchmarkPlacementStats(b *testing.B) {
 	b.ReportMetric(float64(silent), "silent-mode-sets")
 }
 
+// --- compiled-kernel benchmarks ---
+
+// simBenchRecord is the schema of BENCH_sim.json.
+type simBenchRecord struct {
+	Benchmark         string  `json:"benchmark"`
+	Scale             float64 `json:"scale"`
+	ReferenceRunNs    float64 `json:"reference_run_ns_per_op"`
+	CompiledRunNs     float64 `json:"compiled_run_ns_per_op"`
+	RunSpeedup        float64 `json:"speedup_compiled_vs_reference_run"`
+	ReferenceRecordNs float64 `json:"reference_record_ns_per_op"`
+	CompiledRecordNs  float64 `json:"compiled_record_ns_per_op"`
+	RecordSpeedup     float64 `json:"speedup_compiled_vs_reference_record"`
+	BitIdentical      bool    `json:"bit_identical"`
+}
+
+// timeIters returns the mean wall nanoseconds of n invocations of fn.
+func timeIters(n int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// BenchmarkSimCompiledKernel measures what compiling blocks to static cost
+// tables buys on a full-scale workload: Machine.Run and Machine.Record on
+// mpeg/decode at scale 1.0, compiled kernel vs the preserved reference
+// interpreter (Config.ReferenceSim). Results and recordings are checked
+// bit-identical before any timing is trusted; the timed loop is the compiled
+// Run, the other three phases are measured inline, and the record lands in
+// BENCH_sim.json.
+func BenchmarkSimCompiledKernel(b *testing.B) {
+	spec := workloads.MpegDecode(1.0)
+	in := spec.Inputs[0]
+	mode := volt.XScale3().Mode(2)
+	comp := sim.MustNew(sim.DefaultConfig())
+	refCfg := sim.DefaultConfig()
+	refCfg.ReferenceSim = true
+	ref := sim.MustNew(refCfg)
+
+	// Bit-identity gates the timing; these runs double as warm-up. A
+	// recording embeds its machine config, which differs only in the
+	// ReferenceSim flag, so the flag is normalized before comparing.
+	wantRes, err := ref.Run(spec.Program, in, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gotRes, err := comp.Run(spec.Program, in, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		b.Fatal("compiled Run result differs from the reference interpreter")
+	}
+	wantRec, wantRecRes, err := ref.Record(spec.Program, in, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gotRec, gotRecRes, err := comp.Record(spec.Program, in, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantRec.Config.ReferenceSim = false
+	if !reflect.DeepEqual(wantRecRes, gotRecRes) || !reflect.DeepEqual(wantRec, gotRec) {
+		b.Fatal("compiled Record differs from the reference interpreter")
+	}
+
+	const inlineIters = 3
+	refRunNs := timeIters(inlineIters, func() {
+		if _, err := ref.Run(spec.Program, in, mode); err != nil {
+			b.Fatal(err)
+		}
+	})
+	refRecNs := timeIters(inlineIters, func() {
+		if _, _, err := ref.Record(spec.Program, in, mode); err != nil {
+			b.Fatal(err)
+		}
+	})
+	compRecNs := timeIters(inlineIters, func() {
+		if _, _, err := comp.Record(spec.Program, in, mode); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.Run(spec.Program, in, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	compRunNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+	rec := simBenchRecord{
+		Benchmark:         spec.Name,
+		Scale:             1.0,
+		ReferenceRunNs:    refRunNs,
+		CompiledRunNs:     compRunNs,
+		RunSpeedup:        refRunNs / compRunNs,
+		ReferenceRecordNs: refRecNs,
+		CompiledRecordNs:  compRecNs,
+		RecordSpeedup:     refRecNs / compRecNs,
+		BitIdentical:      true,
+	}
+	b.ReportMetric(rec.RunSpeedup, "run-speedup-vs-reference")
+	b.ReportMetric(rec.RecordSpeedup, "record-speedup-vs-reference")
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sim.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- parallel solver benchmarks ---
 //
 // BenchmarkMILPSerial and BenchmarkMILPParallel solve the same unfiltered
@@ -517,9 +633,10 @@ func BenchmarkPlacementStats(b *testing.B) {
 // parallel run measures a warm serial baseline inline, checks the objectives
 // agree bit-for-bit across all three configurations, and writes the full
 // record — both speedups plus the warm-start statistics — to
-// BENCH_milp.json. The parallel speedup is real only with GOMAXPROCS ≥ 4 —
-// on fewer cores the deterministic batch design degenerates to near-serial
-// cost and the record reports that honestly.
+// BENCH_milp.json. Small search trees (like this one) stay under the
+// solver's open-node threshold, so the parallel configuration auto-serializes
+// and runs the serial algorithm verbatim instead of paying worker-pool
+// overhead for no concurrency; the record reports that via auto_serialized.
 
 // milpBenchRecord is the schema of BENCH_milp.json.
 type milpBenchRecord struct {
@@ -533,6 +650,10 @@ type milpBenchRecord struct {
 	ParallelNsOp   float64 `json:"parallel_ns_per_op"`
 	WarmSpeedup    float64 `json:"speedup_warm_vs_cold"`
 	Speedup        float64 `json:"speedup_vs_serial"`
+	// AutoSerialized reports that the open-node threshold kept the worker
+	// pool unspawned: the "parallel" solve ran the serial algorithm verbatim
+	// (see milp.Options.ParallelThreshold).
+	AutoSerialized bool    `json:"auto_serialized"`
 	ObjectiveUJ    float64 `json:"objective_uj"`
 	Nodes          int     `json:"bb_nodes"`
 	// Warm-start statistics of the parallel run (see milp.Result).
@@ -613,9 +734,15 @@ func BenchmarkMILPParallel(b *testing.B) {
 	cold := solveMpegUnfiltered(b, pr, dl, 1, true)
 	coldNs := float64(time.Since(coldStart).Nanoseconds())
 
-	serialStart := time.Now()
-	serial := solveMpegUnfiltered(b, pr, dl, 1, false)
-	serialNs := float64(time.Since(serialStart).Nanoseconds())
+	// The serial baseline is averaged over several solves (after an untimed
+	// warm-up) so it reflects the same steady state — GC cycles included —
+	// as the timed parallel loop; a one-shot measurement lands below the
+	// steady-state mean and skews the ratio.
+	solveMpegUnfiltered(b, pr, dl, 1, false)
+	var serial *core.Result
+	serialNs := timeIters(8, func() {
+		serial = solveMpegUnfiltered(b, pr, dl, 1, false)
+	})
 
 	b.ResetTimer()
 	var par *core.Result
@@ -634,6 +761,11 @@ func BenchmarkMILPParallel(b *testing.B) {
 		b.Fatalf("objective diverged: serial %v vs parallel %v (Δ=%g)",
 			serial.PredictedEnergyUJ, par.PredictedEnergyUJ, d)
 	}
+	if par.Solver.AutoSerialized &&
+		(par.PredictedEnergyUJ != serial.PredictedEnergyUJ || par.Solver.Nodes != serial.Solver.Nodes) {
+		b.Fatalf("auto-serialized solve diverged from serial: %v/%d vs %v/%d",
+			par.PredictedEnergyUJ, par.Solver.Nodes, serial.PredictedEnergyUJ, serial.Solver.Nodes)
+	}
 	parNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	rec := milpBenchRecord{
 		Benchmark:      "mpeg/decode",
@@ -644,6 +776,7 @@ func BenchmarkMILPParallel(b *testing.B) {
 		ParallelNsOp:   parNs,
 		WarmSpeedup:    coldNs / serialNs,
 		Speedup:        serialNs / parNs,
+		AutoSerialized: par.Solver.AutoSerialized,
 		ObjectiveUJ:    par.PredictedEnergyUJ,
 		Nodes:          par.Solver.Nodes,
 		WarmSolves:     par.Solver.WarmSolves,
@@ -653,6 +786,15 @@ func BenchmarkMILPParallel(b *testing.B) {
 		LPPivots:       par.Solver.LPPivots,
 		PivotsPerNode:  par.Solver.PivotsPerNode(),
 		LPTimeNs:       float64(par.Solver.LPTime.Nanoseconds()),
+	}
+	b.ReportMetric(serialNs/parNs, "raw-parallel-ratio")
+	if rec.AutoSerialized {
+		// Below the open-node threshold the parallel configuration executes
+		// the exact serial node sequence (asserted above), so the measured
+		// ratio is scheduling noise between two runs of the same code; the
+		// record keeps both raw wall times and states the structural fact —
+		// a speedup of exactly 1 — instead of the noise.
+		rec.Speedup = 1.0
 	}
 	b.ReportMetric(rec.Speedup, "speedup-vs-serial")
 	b.ReportMetric(rec.WarmSpeedup, "speedup-warm-vs-cold")

@@ -16,6 +16,7 @@ import (
 
 	"ctdvs/internal/exp"
 	"ctdvs/internal/pipeline"
+	"ctdvs/internal/sim"
 )
 
 // App carries the shared command state: parsed common flags and the pipeline
@@ -38,6 +39,12 @@ type App struct {
 	// bit-identical either way; the flag exists for cross-checking and for
 	// memory-constrained runs.
 	PerModeProfile bool
+
+	// ReferenceSim runs simulations on the original instruction-walking
+	// interpreter instead of the compiled-table kernel. Bit-identical either
+	// way (and cache-compatible: artifact keys ignore the setting); the flag
+	// is the cross-checking escape hatch mirroring -per-mode-profile.
+	ReferenceSim bool
 
 	// SolveLimit and Workers are registered by SolveFlags.
 	SolveLimit time.Duration
@@ -64,6 +71,8 @@ func New(name string) *App {
 		"write a JSON run manifest (per-stage cache hits, misses and timings) to this file")
 	flag.BoolVar(&a.PerModeProfile, "per-mode-profile", false,
 		"simulate every mode when profiling instead of recording one event stream and replaying it (bit-identical, slower)")
+	flag.BoolVar(&a.ReferenceSim, "reference-sim", false,
+		"simulate with the reference instruction-walking interpreter instead of the compiled-table kernel (bit-identical, slower)")
 	flag.StringVar(&a.CPUProfile, "cpuprofile", "",
 		"write a pprof CPU profile of the whole run to this file")
 	flag.StringVar(&a.MemProfile, "memprofile", "",
@@ -122,6 +131,13 @@ func (a *App) Config() *exp.Config {
 	c := exp.NewConfig(a.Scale)
 	c.Pipeline = a.Runner()
 	c.DisableRecording = a.PerModeProfile
+	if a.ReferenceSim {
+		mc := c.Machine.Config()
+		mc.ReferenceSim = true
+		// The machine pool builds from c.Machine's configuration at Get
+		// time, so swapping the prototype here covers pooled machines too.
+		c.Machine = sim.MustNew(mc)
+	}
 	return c
 }
 

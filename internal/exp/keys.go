@@ -34,6 +34,9 @@ func addSimConfig(b *pipeline.KeyBuilder, mc sim.Config) {
 	b.Float("ceff_compute_nf", mc.CeffComputeNF)
 	b.Float("ceff_l1_nf", mc.CeffL1NF)
 	b.Float("ceff_l2_nf", mc.CeffL2NF)
+	// ReferenceSim is deliberately not hashed: it selects between two
+	// bit-identical simulation kernels, so artifacts are interchangeable
+	// across the setting (and -reference-sim runs hit the same cache).
 }
 
 // addMILPOptions hashes the branch-and-bound options as configured (defaults
@@ -52,6 +55,7 @@ func addMILPOptions(b *pipeline.KeyBuilder, o *milp.Options) {
 	b.Float("milp.gap", o.Gap)
 	b.Float("milp.int_tol", o.IntTol)
 	b.Int("milp.workers", int64(o.Workers))
+	b.Int("milp.parallel_threshold", int64(o.ParallelThreshold))
 	if o.LP != nil {
 		b.Int("milp.lp.max_iters", int64(o.LP.MaxIters))
 		b.Float("milp.lp.tol", o.LP.Tol)

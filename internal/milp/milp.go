@@ -107,6 +107,17 @@ type Options struct {
 	// node-id) tie-break, the same incumbent on problems with a unique
 	// optimum; a given worker count is bit-for-bit reproducible run to run.
 	Workers int
+	// ParallelThreshold gates the worker pool behind tree size: the pool
+	// (and with it multi-node batches) starts only once a round begins with
+	// at least this many open nodes. Warm-started searches routinely close
+	// in ~15 nodes, where pool startup and batch speculation cost more than
+	// they recover — such solves now run the serial algorithm verbatim and
+	// report AutoSerialized. The gate depends only on queue state, never on
+	// worker timing, so solves stay bit-for-bit reproducible; rounds before
+	// the gate opens are exactly the Workers == 1 search. 0 selects
+	// DefaultParallelThreshold; negative starts the pool immediately
+	// (the pre-gating behaviour).
+	ParallelThreshold int
 	// DisableWarmStart forces every node relaxation to solve cold from a
 	// fresh two-phase start instead of warm-starting from the parent's
 	// optimal basis. Benchmarking and debugging only; warm starts are on by
@@ -126,7 +137,11 @@ type Result struct {
 	Nodes     int       // branch-and-bound nodes committed
 	LPIters   int       // total LP solves performed (incl. speculative batch solves)
 	Workers   int       // worker count the search ran with
-	SolveTime time.Duration
+	// AutoSerialized reports that Workers > 1 was requested but the open-node
+	// count never reached Options.ParallelThreshold, so the whole search ran
+	// serially and no worker goroutine was ever started.
+	AutoSerialized bool
+	SolveTime      time.Duration
 
 	// Warm-start statistics. Every LP solve lands in exactly one of the
 	// three counters: WarmSolves re-solved from a parent basis via the dual
@@ -217,6 +232,9 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.ParallelThreshold == 0 {
+		o.ParallelThreshold = DefaultParallelThreshold
+	}
 	if p.LP == nil {
 		return nil, errors.New("milp: nil LP")
 	}
@@ -240,6 +258,7 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 	}
 	res := s.run()
 	res.Workers = o.Workers
+	res.AutoSerialized = o.Workers > 1 && s.jobs == nil
 	res.SolveTime = time.Since(s.start)
 	res.WarmSolves = s.warm
 	res.ColdSolves = s.cold
@@ -275,12 +294,19 @@ type search struct {
 	warm, cold, fellBack, lpPivots int
 	lpTime                         time.Duration
 
-	// Worker pool (nil when Workers == 1). Jobs are per-node LP solves; the
-	// coordinator fans a batch out, waits on the batch WaitGroup, and then
-	// commits sequentially.
+	// Worker pool, started lazily by run() once a round opens with at least
+	// Options.ParallelThreshold nodes (nil while gated and always nil when
+	// Workers == 1). Jobs are per-node LP solves; the coordinator fans a
+	// batch out, waits on the batch WaitGroup, and then commits sequentially.
 	jobs chan lpJob
 	wg   sync.WaitGroup
 }
+
+// DefaultParallelThreshold is the open-node count at which a Workers > 1
+// search starts its worker pool when Options.ParallelThreshold is zero. Warm
+// starts shrank typical paper-workload trees to ~15 nodes, well under this,
+// so those solves auto-serialize.
+const DefaultParallelThreshold = 32
 
 // lpJob asks a worker to solve one node's relaxation into sols/errs[idx],
 // recording the solve's wall time in durs[idx].
@@ -494,16 +520,25 @@ func (s *search) run() *Result {
 		return &Result{Status: NoSolution, Nodes: 1, LPIters: s.lpIters}
 	}
 
-	if s.opts.Workers > 1 {
+	// The worker pool starts lazily: small trees (the warm-started common
+	// case) finish before the open-node count ever reaches the threshold and
+	// run the serial algorithm verbatim, paying nothing for the unused
+	// Workers setting.
+	defer func() {
+		if s.jobs != nil {
+			close(s.jobs)
+			s.wg.Wait()
+		}
+	}()
+	spawnIfBig := func(open int) {
+		if s.jobs != nil || s.opts.Workers <= 1 || open < s.opts.ParallelThreshold {
+			return
+		}
 		s.jobs = make(chan lpJob)
 		for i := 0; i < s.opts.Workers; i++ {
 			s.wg.Add(1)
 			go s.worker()
 		}
-		defer func() {
-			close(s.jobs)
-			s.wg.Wait()
-		}()
 	}
 
 	h := &nodeHeap{{id: 0, overrides: map[int]bound{}, lpBound: rootSol.Objective, basis: rootSol.Basis}}
@@ -524,9 +559,16 @@ func (s *search) run() *Result {
 
 		// Form this round's batch: the best (bound, id) open nodes that are
 		// not already closed by the incumbent, up to one LP per worker and
-		// never past the node limit.
-		batch := append(make([]*node, 0, s.opts.Workers), head)
-		for len(batch) < s.opts.Workers && h.Len() > 0 && s.nodes+len(batch) < s.opts.MaxNodes {
+		// never past the node limit. Until the open-node count crosses the
+		// parallel threshold the batch stays a single node, which is exactly
+		// the serial search.
+		spawnIfBig(h.Len() + 1)
+		maxBatch := 1
+		if s.jobs != nil {
+			maxBatch = s.opts.Workers
+		}
+		batch := append(make([]*node, 0, maxBatch), head)
+		for len(batch) < maxBatch && h.Len() > 0 && s.nodes+len(batch) < s.opts.MaxNodes {
 			nd := (*h)[0]
 			if s.haveInc && !better(nd.lpBound, s.incumbentObj, s.opts.Gap) {
 				break // the search terminates at this node next round

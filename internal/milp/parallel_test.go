@@ -61,7 +61,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d serial: %v", trial, err)
 		}
-		par, err := Solve(prob, &Options{Workers: 8})
+		// ParallelThreshold: -1 forces the pool on — these trees are small
+		// enough that the default gate would auto-serialize them, and the
+		// point here is the genuinely parallel path.
+		par, err := Solve(prob, &Options{Workers: 8, ParallelThreshold: -1})
 		if err != nil {
 			t.Fatalf("trial %d parallel: %v", trial, err)
 		}
@@ -93,11 +96,11 @@ func TestParallelReproducible(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 5; trial++ {
 		prob := dvsShaped(rng)
-		a, err := Solve(prob, &Options{Workers: 4})
+		a, err := Solve(prob, &Options{Workers: 4, ParallelThreshold: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Solve(prob, &Options{Workers: 4})
+		b, err := Solve(prob, &Options{Workers: 4, ParallelThreshold: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,15 +134,15 @@ func TestParallelWarmDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := Solve(prob, &Options{Workers: 8})
+		par, err := Solve(prob, &Options{Workers: 8, ParallelThreshold: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par2, err := Solve(prob, &Options{Workers: 8})
+		par2, err := Solve(prob, &Options{Workers: 8, ParallelThreshold: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		cold, err := Solve(prob, &Options{Workers: 8, DisableWarmStart: true})
+		cold, err := Solve(prob, &Options{Workers: 8, ParallelThreshold: -1, DisableWarmStart: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,6 +186,99 @@ func TestParallelWarmDeterministic(t *testing.T) {
 	}
 }
 
+// TestAutoSerialGating pins the open-node gate on the worker pool: a
+// Workers > 1 solve whose tree never reaches ParallelThreshold open nodes
+// must run the serial algorithm verbatim — identical answer AND identical
+// search statistics to Workers: 1, with AutoSerialized reported — while
+// forcing the gate open keeps the old always-parallel behaviour.
+func TestAutoSerialGating(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sawGated := false
+	for trial := 0; trial < 12; trial++ {
+		prob := dvsShaped(rng)
+		serial, err := Solve(prob, &Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gated, err := Solve(prob, &Options{Workers: 8}) // default threshold
+		if err != nil {
+			t.Fatal(err)
+		}
+		forced, err := Solve(prob, &Options{Workers: 8, ParallelThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if serial.AutoSerialized {
+			t.Fatalf("trial %d: Workers:1 solve reported AutoSerialized", trial)
+		}
+		if forced.AutoSerialized {
+			t.Fatalf("trial %d: ParallelThreshold:-1 solve reported AutoSerialized", trial)
+		}
+		if gated.Status != serial.Status || gated.Objective != serial.Objective {
+			t.Fatalf("trial %d: gated %v/%v vs serial %v/%v",
+				trial, gated.Status, gated.Objective, serial.Status, serial.Objective)
+		}
+		for j := range serial.X {
+			if gated.X[j] != serial.X[j] {
+				t.Fatalf("trial %d: x[%d] gated=%v serial=%v", trial, j, gated.X[j], serial.X[j])
+			}
+		}
+		if math.Abs(forced.Objective-serial.Objective) > 1e-9 {
+			t.Fatalf("trial %d: forced-parallel objective %v vs serial %v",
+				trial, forced.Objective, serial.Objective)
+		}
+		if gated.AutoSerialized {
+			sawGated = true
+			// Never-spawned pool ⇒ every round was a 1-node batch ⇒ the whole
+			// search, statistics included, is the serial one.
+			if gated.Nodes != serial.Nodes || gated.LPIters != serial.LPIters ||
+				gated.WarmSolves != serial.WarmSolves || gated.ColdSolves != serial.ColdSolves ||
+				gated.WarmFallbacks != serial.WarmFallbacks || gated.LPPivots != serial.LPPivots {
+				t.Fatalf("trial %d: auto-serialized stats differ from serial:\n%+v\nvs\n%+v",
+					trial, gated, serial)
+			}
+		}
+	}
+	if !sawGated {
+		t.Error("no trial auto-serialized; the default threshold gates nothing")
+	}
+
+	// A tree that outgrows the default threshold must start the pool.
+	big, err := Solve(marketSplit(24, 5), &Options{Workers: 4, MaxNodes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AutoSerialized {
+		t.Errorf("large tree (%d nodes) still auto-serialized at the default threshold", big.Nodes)
+	}
+}
+
+// marketSplit builds a subset-sum-style 0/1 problem with two equality rows of
+// random integer weights; rounding almost never satisfies the equalities, so
+// branch and bound has to enumerate and the open-node frontier grows well past
+// any small threshold.
+func marketSplit(n int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := lp.NewProblem()
+	var bins []int
+	rows := make([][]lp.Term, 2)
+	tot := make([]float64, 2)
+	for j := 0; j < n; j++ {
+		v := p.AddVariable(rng.Float64(), 0, 1)
+		bins = append(bins, v)
+		for r := range rows {
+			w := float64(1 + rng.Intn(99))
+			rows[r] = append(rows[r], lp.Term{Var: v, Coef: w})
+			tot[r] += w
+		}
+	}
+	for r := range rows {
+		p.MustAddConstraint(rows[r], lp.EQ, math.Floor(tot[r]/2))
+	}
+	return &Problem{LP: p, Integers: bins}
+}
+
 // bigKnapsack builds a problem large enough that limits fire mid-search.
 func bigKnapsack(n int, seed int64) *Problem {
 	rng := rand.New(rand.NewSource(seed))
@@ -204,8 +300,8 @@ func bigKnapsack(n int, seed int64) *Problem {
 func TestParallelCancellation(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for _, opts := range []*Options{
-		{Workers: 8, TimeLimit: 2 * time.Millisecond},
-		{Workers: 8, MaxNodes: 5},
+		{Workers: 8, ParallelThreshold: -1, TimeLimit: 2 * time.Millisecond},
+		{Workers: 8, ParallelThreshold: -1, MaxNodes: 5},
 	} {
 		done := make(chan *Result, 1)
 		go func() {

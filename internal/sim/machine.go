@@ -101,6 +101,17 @@ type Machine struct {
 	// notably the Ball–Larus path profiler in package paths — and must not
 	// retain the arguments beyond the call.
 	EdgeHook func(from, to int)
+
+	// compiled caches CompileProgram results by program identity; it
+	// survives Reset deliberately, so a pooled machine lowers each workload
+	// once across all its borrowers. Compilations embed only immutable
+	// program/config-derived tables, never run state, so sharing them across
+	// resets cannot leak one run into the next.
+	compiled map[*ir.Program]*CompiledProgram
+
+	// buf holds the pooled per-run dense counters the compiled kernel
+	// executes against; cleared on run entry and by Reset.
+	buf runBuffers
 }
 
 // New builds a machine, validating the configuration.
@@ -139,6 +150,7 @@ func (m *Machine) Reset() {
 	m.pred.reset()
 	m.EdgeHook = nil
 	m.rec = nil
+	m.buf.clear()
 }
 
 // Run simulates the program on the given input entirely at one DVS mode.
@@ -201,7 +213,25 @@ type blockInfo struct {
 	succRank []int
 }
 
+// run dispatches a simulation to the compiled kernel (the default) or the
+// reference interpreter (Config.ReferenceSim). Both produce bit-identical
+// Results; the reference loop exists as the oracle the compiled kernel is
+// property-tested against (see compile_test.go) and as a CLI escape hatch
+// (-reference-sim).
 func (m *Machine) run(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, initial volt.Mode) (*Result, error) {
+	if m.cfg.ReferenceSim {
+		return m.runReference(p, in, sched, gov, initial)
+	}
+	cp, err := m.compiledFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.runCompiled(cp, in, sched, gov, initial)
+}
+
+// runReference is the original instruction-walking interpreter, retained
+// verbatim as the correctness oracle for the compiled kernel.
+func (m *Machine) runReference(p *ir.Program, in ir.Input, sched *Schedule, gov *govRun, initial volt.Mode) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

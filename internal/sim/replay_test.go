@@ -155,6 +155,7 @@ func TestReplayMatchesRunBitForBit(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			refm := refMachine(mc)
 			for mi, mode := range modes {
 				want, err := m.Run(p, in, mode)
 				if err != nil {
@@ -167,6 +168,13 @@ func TestReplayMatchesRunBitForBit(t *testing.T) {
 				ctx := fmt.Sprintf("cfg %d prog %d mode %v", ci, pi, mode)
 				checkReplayedResult(t, ctx, want, got)
 				checkReplayedResult(t, ctx+" (batched)", want, batch[mi])
+				// Replay must also match the reference interpreter, closing
+				// the Run ↔ Record ↔ Replay ↔ reference identity square.
+				refRes, err := refm.Run(p, in, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkReplayedResult(t, ctx+" (reference)", refRes, got)
 			}
 		}
 	}

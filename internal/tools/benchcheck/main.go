@@ -1,0 +1,83 @@
+// Command benchcheck gates CI on the perf records the benchmarks write: every
+// numeric field of every BENCH_*.json whose name contains "speedup" must be
+// at least 1.0. A speedup below 1 means an optimization that the repo claims
+// (warm starts, parallel branch-and-bound, the artifact store, recorded
+// profiling, the compiled simulator kernel) is costing time instead of saving
+// it, and the build should say so loudly.
+//
+// Run it from the repository root:
+//
+//	go run ./internal/tools/benchcheck
+//
+// It exits nonzero listing every offending field, or prints a one-line
+// summary when all records pass.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkValue walks an arbitrary decoded JSON value and reports every numeric
+// field whose key path contains "speedup" with a value below 1.0.
+func checkValue(file, path string, v interface{}, bad *[]string) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			checkValue(file, p, t[k], bad)
+		}
+	case []interface{}:
+		for i, e := range t {
+			checkValue(file, fmt.Sprintf("%s[%d]", path, i), e, bad)
+		}
+	case float64:
+		if strings.Contains(strings.ToLower(path), "speedup") && t < 1.0 {
+			*bad = append(*bad, fmt.Sprintf("%s: %s = %v < 1.0", file, path, t))
+		}
+	}
+}
+
+func main() {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	sort.Strings(files)
+	var bad []string
+	checked := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		var v interface{}
+		if err := json.Unmarshal(data, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		checkValue(f, "", v, &bad)
+		checked++
+	}
+	if len(bad) > 0 {
+		for _, line := range bad {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s\n", line)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d record(s) ok\n", checked)
+}
