@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all ci
+.PHONY: build test test-race vet bench bench-all fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,25 +19,35 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# The solver/pipeline/profiling/simulator benchmarks that rewrite
-# BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json and BENCH_sim.json:
-# serial MILP (warm vs cold inline), parallel MILP, the artifact-store replay,
-# recorded-vs-per-mode profile collection, and the compiled simulator kernel
-# vs the reference interpreter. bench-all runs everything.
+# The solver/pipeline/profiling/simulator/server benchmarks that rewrite
+# BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json, BENCH_sim.json and
+# BENCH_serve.json: serial MILP (warm vs cold inline), parallel MILP, the
+# artifact-store replay, recorded-vs-per-mode profile collection, the compiled
+# simulator kernel vs the reference interpreter, and the optimization server
+# under concurrent load (cold store vs warm). bench-all runs everything.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel)$$' -benchmem .
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput)$$' -benchmem .
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
+# Short fuzzing pass over every artifact and request decoder. Each target
+# gets a few seconds of coverage-guided input on top of its checked-in
+# corpus; any crasher it finds becomes a regression seed under testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime=10s ./internal/schedfile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecording$$' -fuzztime=10s ./internal/schedfile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/profile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime=10s ./internal/serve
+
 # The PR gate: vet, full build, the whole test suite, the race detector over
 # the packages with real concurrency (pipeline singleflight, experiment
-# fan-out, parallel branch-and-bound, concurrent replay of shared recordings),
-# and the perf-record gate (no committed BENCH_*.json may claim a speedup
-# below 1.0).
+# fan-out, parallel branch-and-bound, concurrent replay of shared recordings,
+# and the optimization server's flight table and worker pool), and the
+# perf-record gate (no committed BENCH_*.json may claim a speedup below 1.0).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile
+	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile ./internal/serve
 	$(GO) run ./internal/tools/benchcheck

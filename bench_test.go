@@ -11,11 +11,18 @@ package ctdvs
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"reflect"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +36,7 @@ import (
 	"ctdvs/internal/paths"
 	"ctdvs/internal/pipeline"
 	"ctdvs/internal/profile"
+	"ctdvs/internal/serve"
 	"ctdvs/internal/sim"
 	"ctdvs/internal/volt"
 	"ctdvs/internal/workloads"
@@ -898,6 +906,198 @@ func BenchmarkPipelineColdVsWarm(b *testing.B) {
 	if err := os.WriteFile("BENCH_pipeline.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// --- serving benchmarks ---
+
+// serveBenchRecord is the schema of BENCH_serve.json.
+type serveBenchRecord struct {
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests_per_pass"`
+	// Cold: fresh artifact store, every unique problem solved for real.
+	// Warm: a process-fresh server over the same store answers from
+	// artifacts alone (asserted via the run manifest).
+	ColdP50MS  float64 `json:"cold_p50_ms"`
+	ColdP99MS  float64 `json:"cold_p99_ms"`
+	ColdReqPS  float64 `json:"cold_req_per_s"`
+	WarmP50MS  float64 `json:"warm_p50_ms"`
+	WarmP99MS  float64 `json:"warm_p99_ms"`
+	WarmReqPS  float64 `json:"warm_req_per_s"`
+	Speedup    float64 `json:"speedup_warm_vs_cold"`
+	WarmAllHit bool    `json:"warm_all_hits"`
+}
+
+const (
+	serveBenchClients  = 8
+	serveBenchRequests = 40
+	serveBenchmark     = "gsm/encode"
+)
+
+// serveBenchBodies builds one pass of request bodies: serveBenchRequests
+// requests cycling the five paper deadlines, so the server sees five unique
+// problems plus heavy request-level duplication — both the solver path and
+// the single-flight/cache path carry real load.
+func serveBenchBodies() []string {
+	bodies := make([]string, serveBenchRequests)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"bench":%q,"deadline":%d}`, serveBenchmark, 1+i%5)
+	}
+	return bodies
+}
+
+// serveBenchServer starts a test-scale server over dir's artifact store.
+func serveBenchServer(b *testing.B, dir string) (*exp.Config, *httptest.Server) {
+	b.Helper()
+	store, err := pipeline.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := exp.NewConfig(benchScale)
+	c.Pipeline = pipeline.NewRunner(store)
+	ts := httptest.NewServer(serve.New(c, serve.Options{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: serveBenchRequests,
+	}).Handler())
+	return c, ts
+}
+
+type servePass struct {
+	P50MS, P99MS, ReqPS float64
+}
+
+// serveBenchPass fires the bodies at the server from `clients` concurrent
+// connections and returns latency percentiles and throughput.
+func serveBenchPass(b *testing.B, url string, bodies []string, clients int) servePass {
+	b.Helper()
+	latencies := make([]float64, len(bodies))
+	var next int64 = -1
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(bodies) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := http.Post(url+"/optimize", "application/json", strings.NewReader(bodies[i]))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("request %d: HTTP %d", i, resp.StatusCode)
+					return
+				}
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1e3
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		i := int(p*float64(len(latencies))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	return servePass{P50MS: pct(0.50), P99MS: pct(0.99), ReqPS: float64(len(bodies)) / elapsed}
+}
+
+// BenchmarkServeLatency measures request latency under concurrent load, cold
+// (fresh store: five real solves) against warm (process-fresh server over
+// the populated store: artifacts only), and writes the p50/p99/throughput
+// record to BENCH_serve.json.
+func BenchmarkServeLatency(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ctdvs-serve-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	bodies := serveBenchBodies()
+
+	coldCfg, coldTS := serveBenchServer(b, dir)
+	cold := serveBenchPass(b, coldTS.URL, bodies, serveBenchClients)
+	coldTS.Close()
+	if got := coldCfg.Pipeline.Manifest().Stats()[pipeline.StageSolve].Misses; got != 5 {
+		b.Fatalf("cold pass solve misses = %d, want 5 (one per deadline)", got)
+	}
+
+	b.ResetTimer()
+	var warm servePass
+	var warmCfg *exp.Config
+	for i := 0; i < b.N; i++ {
+		warmCfg, warmTS := serveBenchServer(b, dir)
+		warm = serveBenchPass(b, warmTS.URL, bodies, serveBenchClients)
+		warmTS.Close()
+		if !warmCfg.Pipeline.Manifest().AllHits() {
+			b.Fatal("warm pass recomputed stages")
+		}
+	}
+	_ = warmCfg
+	b.StopTimer()
+
+	rec := serveBenchRecord{
+		Benchmark:  serveBenchmark,
+		Scale:      benchScale,
+		Clients:    serveBenchClients,
+		Requests:   serveBenchRequests,
+		ColdP50MS:  cold.P50MS,
+		ColdP99MS:  cold.P99MS,
+		ColdReqPS:  cold.ReqPS,
+		WarmP50MS:  warm.P50MS,
+		WarmP99MS:  warm.P99MS,
+		WarmReqPS:  warm.ReqPS,
+		Speedup:    warm.ReqPS / cold.ReqPS,
+		WarmAllHit: true,
+	}
+	b.ReportMetric(warm.P50MS, "warm-p50-ms")
+	b.ReportMetric(warm.P99MS, "warm-p99-ms")
+	b.ReportMetric(rec.Speedup, "speedup-warm-vs-cold")
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServeThroughput measures sustained warm throughput: the store is
+// populated once untimed, then each timed iteration is a full pass of
+// concurrent requests against a process-fresh server.
+func BenchmarkServeThroughput(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ctdvs-serve-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	bodies := serveBenchBodies()
+
+	_, coldTS := serveBenchServer(b, dir)
+	serveBenchPass(b, coldTS.URL, bodies, serveBenchClients)
+	coldTS.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ts := serveBenchServer(b, dir)
+		serveBenchPass(b, ts.URL, bodies, serveBenchClients)
+		ts.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*serveBenchRequests)/b.Elapsed().Seconds(), "req/s")
 }
 
 func BenchmarkPathProfiling(b *testing.B) {

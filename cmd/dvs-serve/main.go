@@ -1,0 +1,80 @@
+// Command dvs-serve runs the DVS optimizer as an HTTP/JSON service. POST a
+// request to /optimize and it flows through the same content-addressed
+// pipeline the CLI tools use: with -cache-dir, a schedule solved once — by
+// this server, by a previous server, or by dvs-opt — is never solved again.
+// Identical concurrent requests coalesce onto one execution, the worker pool
+// and queue bound concurrent load (excess gets 429 + Retry-After), and
+// SIGTERM/SIGINT drains in-flight requests before exiting.
+//
+// Usage:
+//
+//	dvs-serve -addr :8080 -cache-dir .dvs-cache
+//	dvs-serve -addr :8080 -serve-workers 4 -queue 32 -request-timeout 30s
+//
+// Endpoints:
+//
+//	POST /optimize  {"bench":"gsm/encode","deadline":3,"levels":3,...}
+//	GET  /healthz   liveness (503 while draining)
+//	GET  /statsz    counters, queue occupancy, latency percentiles, cache stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ctdvs/cmd/internal/cli"
+	"ctdvs/internal/serve"
+)
+
+func main() {
+	app := cli.New("dvs-serve")
+	app.ScaleFlag()
+	app.SolveFlags()
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("serve-workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "requests allowed to wait for a worker before 429")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request wall-time limit (0 = none; requests may override with timeout_ms)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	app.Parse()
+
+	srv := serve.New(app.Config(), serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SolveLimit:     app.SolveLimit,
+		SolveWorkers:   app.Workers,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGTERM/SIGINT starts the drain: stop admitting work, let in-flight
+	// requests finish and answer their clients, then close the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dvs-serve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		app.Die(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dvs-serve: draining")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		app.Die(err)
+	}
+	app.Close()
+}

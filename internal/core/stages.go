@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -117,7 +118,14 @@ func (p *Prepared) Formulate(g *Grouping) *Formulation {
 
 // Solve runs branch-and-bound and extracts the schedule and predictions.
 func (fm *Formulation) Solve() (*Result, error) {
-	res, err := milp.Solve(fm.f.problem, fm.prep.Opts.MILP)
+	return fm.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context: a cancelled context aborts the
+// branch-and-bound search and surfaces ctx's error (never a partial result),
+// so a disconnected client stops burning solver time.
+func (fm *Formulation) SolveContext(ctx context.Context) (*Result, error) {
+	res, err := milp.SolveContext(ctx, fm.f.problem, fm.prep.Opts.MILP)
 	if err != nil {
 		return nil, err
 	}

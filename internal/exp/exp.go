@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -140,6 +141,14 @@ func (c *Config) Spec(name string) (*workloads.Spec, error) {
 // (and every workload when DisableRecording is set) fall back to per-mode
 // simulation with bit-identical results.
 func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile, error) {
+	return c.ProfileCtx(context.Background(), bench, input, levels)
+}
+
+// ProfileCtx is Profile under a caller context: a request cancelled while
+// queued never starts the profiling simulation, and an in-flight collection
+// is aborted only when every caller waiting on it has cancelled (see
+// pipeline.RunCtx).
+func (c *Config) ProfileCtx(ctx context.Context, bench string, input int, levels int) (*profile.Profile, error) {
 	spec, err := c.Spec(bench)
 	if err != nil {
 		return nil, err
@@ -158,9 +167,9 @@ func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile,
 			return profile.Decode(data, spec.Program, spec.Inputs[input], ms)
 		},
 	}
-	return pipeline.Run(c.runner(), st, c.profileKey(bench, input, levels), func() (*profile.Profile, error) {
+	return pipeline.RunCtx(ctx, c.runner(), st, c.profileKey(bench, input, levels), func(ctx context.Context) (*profile.Profile, error) {
 		if !c.DisableRecording {
-			rec, err := c.recording(spec, bench, input)
+			rec, err := c.recording(ctx, spec, bench, input)
 			if err == nil {
 				return profile.FromRecording(rec, spec.Program, spec.Inputs[input], ms)
 			}
@@ -179,7 +188,7 @@ func (c *Config) Profile(bench string, input int, levels int) (*profile.Profile,
 // the fastest XScale mode, but the captured stream is mode-invariant, so the
 // artifact is shared by every mode set — a second Profile call with a
 // different level count replays the cached stream instead of simulating.
-func (c *Config) recording(spec *workloads.Spec, bench string, input int) (*sim.Recording, error) {
+func (c *Config) recording(ctx context.Context, spec *workloads.Spec, bench string, input int) (*sim.Recording, error) {
 	st := pipeline.Stage[*sim.Recording]{
 		Kind:   pipeline.StageRecording,
 		Encode: schedfile.EncodeRecording,
@@ -187,7 +196,7 @@ func (c *Config) recording(spec *workloads.Spec, bench string, input int) (*sim.
 			return schedfile.DecodeRecording(data, spec.Program, spec.Inputs[input], c.Machine.Config())
 		},
 	}
-	return pipeline.Run(c.runner(), st, c.recordKey(bench, input), func() (*sim.Recording, error) {
+	return pipeline.RunCtx(ctx, c.runner(), st, c.recordKey(bench, input), func(context.Context) (*sim.Recording, error) {
 		m := c.acquireMachine()
 		defer c.releaseMachine(m)
 		rec, _, err := m.Record(spec.Program, spec.Inputs[input], volt.XScale3().Max())

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -133,6 +134,15 @@ func (a *solveArtifact) toResult() (*core.Result, error) {
 // it the filter and formulate stages) runs only when no artifact exists for
 // the canonicalized inputs.
 func (c *Config) Optimize(cats []core.Category, opts *core.Options) (*core.Result, error) {
+	return c.OptimizeCtx(context.Background(), cats, opts)
+}
+
+// OptimizeCtx is Optimize under a caller context. Cancellation is checked at
+// every stage boundary (filter → formulate → solve) and polled inside the
+// branch-and-bound search itself; an aborted solve surfaces ctx's error and
+// leaves no artifact behind. The context never participates in cache keys, so
+// requests with different deadlines still share artifacts.
+func (c *Config) OptimizeCtx(ctx context.Context, cats []core.Category, opts *core.Options) (*core.Result, error) {
 	prep, err := core.Prepare(cats, opts)
 	if err != nil {
 		return nil, err
@@ -146,12 +156,15 @@ func (c *Config) Optimize(cats []core.Category, opts *core.Options) (*core.Resul
 	key := solveKey(prep, fps)
 	program := prep.Cats[0].Profile.Program.Name
 	r := c.runner()
-	art, err := pipeline.Run(r, solveStage, key, func() (*solveArtifact, error) {
+	art, err := pipeline.RunCtx(ctx, r, solveStage, key, func(ctx context.Context) (*solveArtifact, error) {
 		var grouping *core.Grouping
 		if err := r.Observe(pipeline.StageFilter, key, func() error {
 			grouping = prep.Filter()
 			return nil
 		}); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		var fm *core.Formulation
@@ -161,7 +174,10 @@ func (c *Config) Optimize(cats []core.Category, opts *core.Options) (*core.Resul
 		}); err != nil {
 			return nil, err
 		}
-		res, err := fm.Solve()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := fm.SolveContext(ctx)
 		if errors.Is(err, core.ErrInfeasible) {
 			return &solveArtifact{Version: solveArtifactVersion, Infeasible: true}, nil
 		}
@@ -207,6 +223,11 @@ func (c *Config) Optimize(cats []core.Category, opts *core.Options) (*core.Resul
 // OptimizeSingle is Optimize for the common single-profile case.
 func (c *Config) OptimizeSingle(pr *profile.Profile, deadlineUS float64, opts *core.Options) (*core.Result, error) {
 	return c.Optimize([]core.Category{{Profile: pr, Weight: 1, DeadlineUS: deadlineUS}}, opts)
+}
+
+// OptimizeSingleCtx is OptimizeCtx for the common single-profile case.
+func (c *Config) OptimizeSingleCtx(ctx context.Context, pr *profile.Profile, deadlineUS float64, opts *core.Options) (*core.Result, error) {
+	return c.OptimizeCtx(ctx, []core.Category{{Profile: pr, Weight: 1, DeadlineUS: deadlineUS}}, opts)
 }
 
 // RunSummary is the cached scalar outcome of executing a schedule on the
@@ -255,13 +276,24 @@ var validateStage = pipeline.Stage[RunSummary]{
 // RunSchedule executes (or loads from cache) a schedule for the profiled
 // workload on the default machine configuration.
 func (c *Config) RunSchedule(pr *profile.Profile, sched *sim.Schedule) (RunSummary, error) {
-	return c.RunScheduleConfig(c.Machine.Config(), pr, sched)
+	return c.RunScheduleCtx(context.Background(), pr, sched)
+}
+
+// RunScheduleCtx is RunSchedule under a caller context: a request cancelled
+// before the validation simulation starts never runs it.
+func (c *Config) RunScheduleCtx(ctx context.Context, pr *profile.Profile, sched *sim.Schedule) (RunSummary, error) {
+	return c.RunScheduleConfigCtx(ctx, c.Machine.Config(), pr, sched)
 }
 
 // RunScheduleConfig is RunSchedule on an explicit machine configuration
 // (the leakage ablation sweeps StaticPowerMW this way). The configuration is
 // part of the cache key.
 func (c *Config) RunScheduleConfig(mc sim.Config, pr *profile.Profile, sched *sim.Schedule) (RunSummary, error) {
+	return c.RunScheduleConfigCtx(context.Background(), mc, pr, sched)
+}
+
+// RunScheduleConfigCtx is RunScheduleConfig under a caller context.
+func (c *Config) RunScheduleConfigCtx(ctx context.Context, mc sim.Config, pr *profile.Profile, sched *sim.Schedule) (RunSummary, error) {
 	profileFP, err := c.fingerprint(pr)
 	if err != nil {
 		return RunSummary{}, err
@@ -271,7 +303,7 @@ func (c *Config) RunScheduleConfig(mc sim.Config, pr *profile.Profile, sched *si
 		return RunSummary{}, err
 	}
 	key := validateKey(profileFP, schedFP, mc)
-	return pipeline.Run(c.runner(), validateStage, key, func() (RunSummary, error) {
+	return pipeline.RunCtx(ctx, c.runner(), validateStage, key, func(context.Context) (RunSummary, error) {
 		var m *sim.Machine
 		if mc == c.Machine.Config() {
 			m = c.acquireMachine()
@@ -304,7 +336,12 @@ type Measurement struct {
 // the deadline. The cached artifact is deadline-independent; the deadline
 // comparison happens on load.
 func (c *Config) Measure(pr *profile.Profile, sched *sim.Schedule, deadlineUS float64) (*Measurement, error) {
-	run, err := c.RunSchedule(pr, sched)
+	return c.MeasureCtx(context.Background(), pr, sched, deadlineUS)
+}
+
+// MeasureCtx is Measure under a caller context.
+func (c *Config) MeasureCtx(ctx context.Context, pr *profile.Profile, sched *sim.Schedule, deadlineUS float64) (*Measurement, error) {
+	run, err := c.RunScheduleCtx(ctx, pr, sched)
 	if err != nil {
 		return nil, err
 	}
@@ -320,15 +357,20 @@ func (c *Config) Measure(pr *profile.Profile, sched *sim.Schedule, deadlineUS fl
 // best single mode meeting the deadline (core.SavingsVsBestSingle through the
 // validate cache: both runs are cacheable artifacts).
 func (c *Config) Savings(pr *profile.Profile, sched *sim.Schedule, deadlineUS float64, reg volt.Regulator) (float64, error) {
+	return c.SavingsCtx(context.Background(), pr, sched, deadlineUS, reg)
+}
+
+// SavingsCtx is Savings under a caller context.
+func (c *Config) SavingsCtx(ctx context.Context, pr *profile.Profile, sched *sim.Schedule, deadlineUS float64, reg volt.Regulator) (float64, error) {
 	mode, _, ok := pr.BestSingleMode(deadlineUS)
 	if !ok {
 		return 0, fmt.Errorf("core: no single mode meets deadline %v µs", deadlineUS)
 	}
-	base, err := c.RunSchedule(pr, core.SingleModeSchedule(pr, mode, reg))
+	base, err := c.RunScheduleCtx(ctx, pr, core.SingleModeSchedule(pr, mode, reg))
 	if err != nil {
 		return 0, err
 	}
-	dvs, err := c.RunSchedule(pr, sched)
+	dvs, err := c.RunScheduleCtx(ctx, pr, sched)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,63 @@
+package milp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSolveContextCancelMidSearch cancels a long search shortly after it
+// starts and asserts the solver abandons the tree: SolveContext returns the
+// context's error (never a partial result) and does so promptly. The instance
+// deterministically needs hundreds of milliseconds of search, so the 20 ms
+// cancel always lands mid-tree with a wide margin.
+func TestSolveContextCancelMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := SolveContext(ctx, marketSplit(32, 5), &Options{Workers: 1, MaxNodes: 500000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (res=%+v), want context.Canceled", err, res)
+	}
+	if res != nil {
+		t.Fatalf("cancelled solve returned a result: %+v", res)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancelled solve took %v to return", d)
+	}
+}
+
+// TestSolveContextDeadline drives cancellation through a context deadline —
+// the path a server request timeout takes into the solver.
+func TestSolveContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := SolveContext(ctx, marketSplit(32, 5), &Options{Workers: 1, MaxNodes: 500000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSolveContextCompletedSolveUnaffected asserts a context that stays alive
+// changes nothing: the result is identical to a plain Solve.
+func TestSolveContextCompletedSolveUnaffected(t *testing.T) {
+	prob := bigKnapsack(30, 3)
+	plain, err := Solve(prob, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := SolveContext(ctx, prob, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != withCtx.Status || plain.Objective != withCtx.Objective ||
+		plain.Nodes != withCtx.Nodes {
+		t.Fatalf("context changed the search: %+v vs %+v", plain, withCtx)
+	}
+}

@@ -30,6 +30,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -216,6 +217,17 @@ func (h *nodeHeap) Pop() interface{} {
 
 // Solve runs branch and bound and returns the best integer solution found.
 func Solve(p *Problem, opts *Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve under a context: the search polls ctx between
+// branch-and-bound rounds and, when it is cancelled or its deadline passes,
+// abandons the tree and returns ctx's error instead of a result. Callers that
+// want the best incumbent found so far should use Options.TimeLimit (which
+// returns a Feasible result); the context path is for work whose requester is
+// gone — a disconnected client's solve must not be mistaken for a completed
+// one, and in particular must never be cached.
+func SolveContext(ctx context.Context, p *Problem, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -248,6 +260,7 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 		prob:         p,
 		opts:         o,
 		start:        time.Now(),
+		done:         ctx.Done(),
 		coordScratch: lp.NewScratch(),
 	}
 	// Remember root bounds so per-node overrides can be composed with them.
@@ -257,6 +270,11 @@ func Solve(p *Problem, opts *Options) (*Result, error) {
 		s.rootLo[j], s.rootHi[j] = p.LP.Bounds(j)
 	}
 	res := s.run()
+	if s.interrupted {
+		// The caller is gone; whatever the tree held is abandoned rather
+		// than reported as a (partial) solve result.
+		return nil, ctx.Err()
+	}
 	res.Workers = o.Workers
 	res.AutoSerialized = o.Workers > 1 && s.jobs == nil
 	res.SolveTime = time.Since(s.start)
@@ -272,6 +290,12 @@ type search struct {
 	prob  *Problem
 	opts  Options
 	start time.Time
+
+	// done is the solve context's cancellation channel, polled once per
+	// branch-and-bound round; interrupted records that the search stopped
+	// because of it (as opposed to a time or node limit).
+	done        <-chan struct{}
+	interrupted bool
 
 	rootLo, rootHi []float64
 
@@ -334,6 +358,20 @@ func (s *search) worker() {
 
 func (s *search) timeUp() bool {
 	return s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit
+}
+
+// cancelled polls the solve context (non-blocking) and latches interrupted.
+func (s *search) cancelled() bool {
+	if s.interrupted {
+		return true
+	}
+	select {
+	case <-s.done:
+		s.interrupted = true
+		return true
+	default:
+		return false
+	}
 }
 
 // solveNode solves one node's relaxation, warm-starting from the parent
@@ -547,7 +585,7 @@ func (s *search) run() *Result {
 	bestBound := rootSol.Objective
 
 	for h.Len() > 0 {
-		if s.nodes >= s.opts.MaxNodes || s.timeUp() {
+		if s.nodes >= s.opts.MaxNodes || s.timeUp() || s.cancelled() {
 			return s.finish(Feasible, bestBound)
 		}
 		head := heap.Pop(h).(*node)

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -21,10 +23,26 @@ type Stage[T any] struct {
 // requests for the same artifact block on one computation while other keys
 // proceed in parallel. The resolved artifact stays in the slot, so repeated
 // in-process requests are memory hits.
+//
+// Each in-flight slot runs its computation under a private context that is
+// cancelled only when every caller interested in the result has cancelled —
+// one disconnected client never aborts work another client still waits on. A
+// slot whose computation ends in a context error is removed from the runner,
+// so the next request for the same key computes afresh instead of replaying a
+// stale cancellation.
 type slot struct {
-	once sync.Once
-	val  any
-	err  error
+	done chan struct{} // closed when val/err are final
+
+	val any
+	err error
+
+	// waiters counts callers whose context is still alive; cancel aborts the
+	// computation context once it drops to zero. Both are guarded by the
+	// runner's mutex. finished marks the slot resolved (also under the
+	// runner's mutex, set before done is closed).
+	waiters  int
+	cancel   context.CancelFunc
+	finished bool
 }
 
 // Runner executes pipeline stages against an optional artifact store,
@@ -60,29 +78,101 @@ func (r *Runner) Manifest() *Manifest { return r.man }
 // from the store, and only then by computing it (persisting the result when
 // a store is attached). All callers of the same key share one resolution.
 func Run[T any](r *Runner, st Stage[T], key Key, compute func() (T, error)) (T, error) {
+	return RunCtx(context.Background(), r, st, key, func(context.Context) (T, error) {
+		return compute()
+	})
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline error
+// (possibly wrapped) — the class of failures that say nothing about the
+// artifact itself and must not be cached.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunCtx is Run with caller cancellation: a caller whose context ends while
+// waiting unblocks immediately with ctx.Err(), and the computation itself is
+// aborted only once every caller for the key has gone away (its context is
+// derived from the runner, not from any one request). Results that fail with
+// a context error are not retained — the next request recomputes.
+func RunCtx[T any](ctx context.Context, r *Runner, st Stage[T], key Key, compute func(context.Context) (T, error)) (T, error) {
+	for {
+		v, err := runOnce(ctx, r, st, key, compute)
+		// A caller that attached to a computation just as its last
+		// interested party cancelled inherits that cancellation; if this
+		// caller itself is still live, the slot is gone by now (it is
+		// deleted before waiters are released) and a retry computes afresh.
+		if isCtxErr(err) && ctx.Err() == nil {
+			continue
+		}
+		return v, err
+	}
+}
+
+func runOnce[T any](ctx context.Context, r *Runner, st Stage[T], key Key, compute func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	id := string(st.Kind) + "/" + string(key)
+
 	r.mu.Lock()
 	s, ok := r.slots[id]
-	if !ok {
-		s = &slot{}
-		r.slots[id] = s
+	if ok && s.finished {
+		r.mu.Unlock()
+		r.man.addMemHit(st.Kind, key)
+		if s.err != nil {
+			return zero, s.err
+		}
+		return slotValue[T](s, st, key)
 	}
+	leader := false
+	if !ok {
+		cctx, cancel := context.WithCancel(context.Background())
+		s = &slot{done: make(chan struct{}), cancel: cancel}
+		r.slots[id] = s
+		leader = true
+		go func() {
+			v, err := resolve(cctx, r, st, key, compute)
+			r.mu.Lock()
+			s.val, s.err, s.finished = v, err, true
+			if isCtxErr(err) {
+				// A cancelled computation says nothing about the artifact:
+				// drop the slot so the next caller recomputes.
+				delete(r.slots, id)
+			}
+			r.mu.Unlock()
+			cancel()
+			close(s.done)
+		}()
+	}
+	s.waiters++
 	r.mu.Unlock()
 
-	executed := false
-	s.once.Do(func() {
-		executed = true
-		s.val, s.err = resolve(r, st, key, compute)
-	})
-	if !executed {
-		// Served from the in-memory slot (possibly after blocking on a
-		// concurrent resolution of the same key).
-		r.man.addMemHit(st.Kind, key)
+	select {
+	case <-s.done:
+		if !leader {
+			// Served from the in-memory slot (possibly after blocking on a
+			// concurrent resolution of the same key).
+			r.man.addMemHit(st.Kind, key)
+		}
+		if s.err != nil {
+			return zero, s.err
+		}
+		return slotValue[T](s, st, key)
+	case <-ctx.Done():
+		r.mu.Lock()
+		s.waiters--
+		if s.waiters == 0 && !s.finished {
+			s.cancel()
+		}
+		r.mu.Unlock()
+		return zero, ctx.Err()
 	}
-	if s.err != nil {
-		var zero T
-		return zero, s.err
-	}
+}
+
+// slotValue extracts the typed artifact from a resolved slot.
+func slotValue[T any](s *slot, st Stage[T], key Key) (T, error) {
 	v, ok := s.val.(T)
 	if !ok {
 		var zero T
@@ -91,7 +181,7 @@ func Run[T any](r *Runner, st Stage[T], key Key, compute func() (T, error)) (T, 
 	return v, nil
 }
 
-func resolve[T any](r *Runner, st Stage[T], key Key, compute func() (T, error)) (T, error) {
+func resolve[T any](ctx context.Context, r *Runner, st Stage[T], key Key, compute func(context.Context) (T, error)) (T, error) {
 	var artifact string
 	if r.store != nil {
 		artifact = r.store.Path(st.Kind, key)
@@ -105,8 +195,15 @@ func resolve[T any](r *Runner, st Stage[T], key Key, compute func() (T, error)) 
 		}
 	}
 
+	// Stage boundary: a request cancelled while queued behind the store
+	// lookup never starts the expensive computation at all.
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, err
+	}
+
 	start := time.Now()
-	v, err := compute()
+	v, err := compute(ctx)
 	ms := float64(time.Since(start).Microseconds()) / 1e3
 	if err != nil {
 		var zero T

@@ -1,0 +1,45 @@
+package profile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the profile decoder and holds it to
+// the same contract as the other artifact codecs: errors for garbage, no
+// panics, and deterministic re-encoding of anything accepted.
+func FuzzDecode(f *testing.F) {
+	pr := collect(f)
+	valid, err := Encode(pr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(strings.Replace(string(valid), `"version":`, `"version":9`, 1))
+	f.Add(strings.Replace(string(valid), `"program":"branchy"`, `"program":"other"`, 1))
+	f.Add(`{}`)
+	f.Add(`{"version":1}`)
+	f.Add(`not json`)
+	f.Add(`[]`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := Decode([]byte(data), pr.Program, pr.Input, pr.Modes)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(got)
+		if err != nil {
+			t.Fatalf("accepted profile failed to encode: %v", err)
+		}
+		got2, err := Decode(enc, pr.Program, pr.Input, pr.Modes)
+		if err != nil {
+			t.Fatalf("re-decode of accepted profile failed: %v", err)
+		}
+		if !reflect.DeepEqual(got.TimeUS, got2.TimeUS) ||
+			!reflect.DeepEqual(got.EnergyUJ, got2.EnergyUJ) ||
+			!reflect.DeepEqual(got.EdgeCounts, got2.EdgeCounts) {
+			t.Fatal("encode/decode round trip changed the profile")
+		}
+	})
+}

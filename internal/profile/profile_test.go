@@ -32,7 +32,7 @@ func branchyLoop(trips int) *ir.Program {
 	return b.MustFinish()
 }
 
-func collect(t *testing.T) *Profile {
+func collect(t testing.TB) *Profile {
 	t.Helper()
 	m := sim.MustNew(sim.DefaultConfig())
 	pr, err := Collect(m, branchyLoop(500), ir.Input{Name: "in", Seed: 11}, volt.XScale3())

@@ -2,6 +2,7 @@ package schedfile
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,48 @@ func FuzzLoad(f *testing.F) {
 		if name2 != name || sched2.Initial != sched.Initial ||
 			len(sched2.Assignment) != len(sched.Assignment) {
 			t.Fatal("round trip not lossless")
+		}
+	})
+}
+
+// FuzzDecodeRecording throws arbitrary bytes at the recording decoder — the
+// uvarint-trace + base64-bitstream codec the record stage trusts — and holds
+// it to returning errors, never panicking. Anything it accepts against the
+// fixture program must re-encode deterministically and replay safely.
+func FuzzDecodeRecording(f *testing.F) {
+	p, in, mc, rec := recordingFixture(f)
+	valid, err := EncodeRecording(rec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	// Targeted corruptions of every packed stream and identity field.
+	f.Add(strings.Replace(string(valid), `"version":1`, `"version":99`, 1))
+	f.Add(strings.Replace(string(valid), `"program":"codec"`, `"program":"other"`, 1))
+	f.Add(strings.Replace(string(valid), `"trace":"`, `"trace":"!!!!`, 1))
+	f.Add(strings.Replace(string(valid), `"mem_bits":"`, `"mem_bits":"AAA`, 1))
+	f.Add(strings.Replace(string(valid), `"trace_len":`, `"trace_len":-`, 1))
+	f.Add(`{}`)
+	f.Add(`{"version":1}`)
+	f.Add(`not json`)
+	f.Add(`{"version":1,"program":"codec","input":"in","trace_len":1000000000,"trace":""}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := DecodeRecording([]byte(data), p, in, mc)
+		if err != nil {
+			return // rejection is the expected outcome for garbage
+		}
+		// Accepted recordings are bound and re-encode deterministically.
+		enc, err := EncodeRecording(got)
+		if err != nil {
+			t.Fatalf("accepted recording failed to encode: %v", err)
+		}
+		got2, err := DecodeRecording(enc, p, in, mc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted recording failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Fatal("encode/decode round trip changed the recording")
 		}
 	})
 }

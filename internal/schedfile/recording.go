@@ -121,6 +121,11 @@ func unpackTrace(s string, n int) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each trace entry is at least one packed byte, so a claimed length
+	// outside [0, len(buf)] is corrupt — reject it before allocating.
+	if n < 0 || n > len(buf) {
+		return nil, fmt.Errorf("block trace length %d does not fit %d packed bytes", n, len(buf))
+	}
 	trace := make([]uint32, 0, n)
 	for i := 0; i < n; i++ {
 		v, k := binary.Uvarint(buf)

@@ -12,7 +12,7 @@ import (
 	"ctdvs/internal/volt"
 )
 
-func recordingFixture(t *testing.T) (*ir.Program, ir.Input, sim.Config, *sim.Recording) {
+func recordingFixture(t testing.TB) (*ir.Program, ir.Input, sim.Config, *sim.Recording) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(5))
 	b := ir.NewBuilder("codec")

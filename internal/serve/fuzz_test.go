@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest holds the request decoder to its contract: whatever the
+// bytes, it returns an error or a valid request — it never panics — and
+// anything it accepts is a fixed point (marshal → decode is the identity on
+// normalized requests).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(`{"bench":"adpcm/encode"}`)
+	f.Add(`{"bench":"gsm/encode","input":1,"levels":7,"deadline":5,"capacitance_f":1e-6}`)
+	f.Add(`{"bench":"mpeg/decode","deadline_us":90000,"no_filter":true,"no_transition_costs":true,` +
+		`"block_based":true,"skip_measure":true,"include_schedule":true,"timeout_ms":500}`)
+	f.Add(`{"bench":""}`)
+	f.Add(`{"bench":"x","levels":5}`)
+	f.Add(`{"bench":"x","deadline":6}`)
+	f.Add(`{"bench":"x","deadline_us":-1}`)
+	f.Add(`{"bench":"x","unknown":1}`)
+	f.Add(`{"bench":"x"} trailing`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`{"bench":"x","capacitance_f":1e999}`)
+	f.Add(`{"bench":"x","input":-1}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		q, err := DecodeRequest(strings.NewReader(data))
+		if err != nil {
+			if q != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if err := q.validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid request %+v: %v", q, err)
+		}
+		// Accepted requests survive a marshal/decode round trip unchanged.
+		enc, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("accepted request failed to marshal: %v", err)
+		}
+		q2, err := DecodeRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip changed the request:\nwas %+v\nnow %+v", q, q2)
+		}
+		if q.key() != q2.key() {
+			t.Fatal("round trip changed the coalescing key")
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ctdvs/internal/core"
+	"ctdvs/internal/exp"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/pipeline"
+	"ctdvs/internal/schedfile"
+	"ctdvs/internal/volt"
+)
+
+// cliConfig is a fresh experiment config over dir's artifact store — what
+// `dvs-opt -scale 0.02 -cache-dir dir` builds.
+func cliConfig(t *testing.T, dir string) *exp.Config {
+	t.Helper()
+	store, err := pipeline.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exp.NewConfig(0.02)
+	cfg.Pipeline = pipeline.NewRunner(store)
+	return cfg
+}
+
+// cliFlow replays cmd/dvs-opt's exact sequence — profile, deadline
+// resolution, optimize, measure, savings — through the library, and shapes
+// the outcome as a Response. It is the reference the served responses are
+// held bit-identical to.
+func cliFlow(t *testing.T, cfg *exp.Config, req *Request) *Response {
+	t.Helper()
+	spec, err := cfg.Spec(req.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := cfg.Profile(req.Bench, req.Input, req.Levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := req.DeadlineUS
+	if dl == 0 {
+		n := pr.Modes.Len()
+		dl = spec.Deadline(req.Deadline, pr.TotalTimeUS[n-1], pr.TotalTimeUS[0])
+	}
+	reg := volt.DefaultRegulator().WithCapacitance(req.CapacitanceF)
+	opts := &core.Options{
+		Regulator:         reg,
+		NoTransitionCosts: req.NoTransitionCosts,
+		BlockBased:        req.BlockBased,
+		MILP:              &milp.Options{TimeLimit: 2 * time.Minute}, // dvs-opt -solve-limit default
+	}
+	if req.NoFilter {
+		opts.FilterTail = -1
+	}
+	res, err := cfg.OptimizeSingle(pr, dl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &Response{
+		Bench:             spec.Name,
+		Input:             spec.Inputs[req.Input].Name,
+		Levels:            req.Levels,
+		DeadlineUS:        dl,
+		PredictedEnergyUJ: res.PredictedEnergyUJ,
+		PredictedTimeUS:   res.PredictedTimeUS[0],
+		IndependentEdges:  res.IndependentEdges,
+		TotalEdges:        res.TotalEdges,
+		Solver: &SolverStats{
+			Status:        res.Solver.Status.String(),
+			Nodes:         res.Solver.Nodes,
+			LPIters:       res.Solver.LPIters,
+			SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
+			WarmSolves:    res.Solver.WarmSolves,
+			ColdSolves:    res.Solver.ColdSolves,
+			WarmFallbacks: res.Solver.WarmFallbacks,
+			LPPivots:      res.Solver.LPPivots,
+			ObjectiveUJ:   res.Solver.Objective,
+		},
+	}
+	if req.IncludeSchedule {
+		f, err := schedfile.New(spec.Name, res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Schedule = f
+	}
+	ev, err := cfg.Measure(pr, res.Schedule, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Measured = &Measured{Run: ev.Run, MeetsDeadline: ev.MeetsDeadline, SlackUS: ev.SlackUS}
+	if mode, baseE, ok := pr.BestSingleMode(dl); ok {
+		sv, err := cfg.Savings(pr, res.Schedule, dl, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Baseline = &Baseline{Mode: pr.Modes.Mode(mode).String(), EnergyUJ: baseE, Savings: sv}
+	}
+	return resp
+}
+
+func marshalResponse(t *testing.T, r *Response) string {
+	t.Helper()
+	c := *r
+	c.ElapsedMS = 0
+	out, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestServerMatchesCLI holds the served response bit-identical (modulo
+// elapsed time) to the dvs-opt flow for the same request, in both directions
+// over one shared artifact store:
+//
+//   - cold server, warm CLI: the server populates the cache, the CLI reads
+//     it and must reconstruct the same response;
+//   - warm server: a second, fresh server over the same store must answer
+//     from artifacts alone (zero misses) with the same bytes.
+func TestServerMatchesCLI(t *testing.T) {
+	dir := t.TempDir()
+	reqJSON := fmt.Sprintf(`{"bench":%q,"deadline":2,"include_schedule":true}`, testBench)
+	req, err := DecodeRequest(strings.NewReader(reqJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold server populates dir.
+	coldSrv, coldTS := newTestServer(t, dir, Options{})
+	status, body := postOptimize(t, coldTS, reqJSON)
+	cold := marshalResponse(t, decodeOK(t, status, body))
+	if got := coldSrv.cfg.Pipeline.Manifest().Stats()[pipeline.StageSolve].Misses; got != 1 {
+		t.Fatalf("cold server solve misses = %d, want 1", got)
+	}
+
+	// CLI flow over the same store must be warm and bit-identical.
+	cliCfg := cliConfig(t, dir)
+	cli := marshalResponse(t, cliFlow(t, cliCfg, req))
+	if !cliCfg.Pipeline.Manifest().AllHits() {
+		t.Error("CLI flow missed the cache the server populated")
+	}
+	if cli != cold {
+		t.Errorf("CLI response differs from cold served response:\ncli:  %s\nsrv:  %s", cli, cold)
+	}
+
+	// A fresh server over the same store answers warm with the same bytes.
+	warmSrv, warmTS := newTestServer(t, dir, Options{})
+	status, body = postOptimize(t, warmTS, reqJSON)
+	warm := marshalResponse(t, decodeOK(t, status, body))
+	if !warmSrv.cfg.Pipeline.Manifest().AllHits() {
+		t.Error("warm server recomputed instead of reading artifacts")
+	}
+	if warm != cold {
+		t.Errorf("warm served response differs from cold:\nwarm: %s\ncold: %s", warm, cold)
+	}
+
+	// And the inverse population order: a CLI-populated store serves the
+	// same bytes too. Across *independent* cold solves only the measured
+	// solve wall time may differ, so that one field is masked here (within
+	// one store it is part of the artifact and stays bit-identical).
+	dir2 := t.TempDir()
+	cli2resp := cliFlow(t, cliConfig(t, dir2), req)
+	cli2 := marshalResponse(t, cli2resp)
+	maskSolveTime := func(s string) string {
+		var r Response
+		if err := json.Unmarshal([]byte(s), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Solver != nil {
+			r.Solver.SolveTimeNS = 0
+		}
+		out, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if maskSolveTime(cli2) != maskSolveTime(cli) {
+		t.Fatalf("CLI flow is not deterministic across stores:\n%s\n%s", cli2, cli)
+	}
+	srv2, ts2 := newTestServer(t, dir2, Options{})
+	status, body = postOptimize(t, ts2, reqJSON)
+	served2 := marshalResponse(t, decodeOK(t, status, body))
+	if !srv2.cfg.Pipeline.Manifest().AllHits() {
+		t.Error("server missed the cache the CLI populated")
+	}
+	if served2 != cli2 {
+		t.Errorf("served response differs from CLI-populated artifacts:\nsrv: %s\ncli: %s", served2, cli2)
+	}
+}

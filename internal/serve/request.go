@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"ctdvs/internal/exp"
+	"ctdvs/internal/schedfile"
+)
+
+// Request is the wire form of one optimization request: which workload to
+// optimize, under what deadline and regulator, and what to return. The
+// zero-ish defaults mirror dvs-opt's flags, so a request body of
+// {"bench":"gsm/encode"} asks for exactly what `dvs-opt -bench gsm/encode`
+// computes.
+type Request struct {
+	// Bench names the workload (e.g. "mpeg/decode"); Input indexes its
+	// profiling inputs.
+	Bench string `json:"bench"`
+	Input int    `json:"input"`
+	// Levels is the voltage-level count (3, 7 or 13; default 3).
+	Levels int `json:"levels"`
+	// Deadline is the paper deadline number (1=tight .. 5=lax, default 3);
+	// DeadlineUS, when positive, overrides it with an explicit deadline.
+	Deadline   int     `json:"deadline"`
+	DeadlineUS float64 `json:"deadline_us"`
+	// CapacitanceF is the regulator capacitance in farads (default 10e-6).
+	CapacitanceF float64 `json:"capacitance_f"`
+	// Formulation ablations, mirroring dvs-opt's flags.
+	NoFilter          bool `json:"no_filter"`
+	NoTransitionCosts bool `json:"no_transition_costs"`
+	BlockBased        bool `json:"block_based"`
+	// SkipMeasure omits the validation simulation (and with it the measured
+	// outcome and baseline savings) from the response.
+	SkipMeasure bool `json:"skip_measure"`
+	// IncludeSchedule embeds the full per-edge schedule file in the response.
+	IncludeSchedule bool `json:"include_schedule"`
+	// TimeoutMS bounds this request's wall time (0 uses the server default).
+	// The timeout cancels queue waits, simulations and the branch-and-bound
+	// search; it never changes artifact identity.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// normalize applies defaults in place.
+func (q *Request) normalize() {
+	if q.Levels == 0 {
+		q.Levels = 3
+	}
+	if q.Deadline == 0 {
+		q.Deadline = 3
+	}
+	if q.CapacitanceF == 0 {
+		q.CapacitanceF = 10e-6
+	}
+}
+
+// validate rejects requests no handler stage would accept. Workload
+// existence is checked separately (it needs the experiment config).
+func (q *Request) validate() error {
+	switch {
+	case q.Bench == "":
+		return errors.New("bench is required")
+	case q.Input < 0:
+		return fmt.Errorf("input %d is negative", q.Input)
+	case q.Levels != 3 && q.Levels != 7 && q.Levels != 13:
+		return fmt.Errorf("levels must be 3, 7 or 13 (got %d)", q.Levels)
+	case q.DeadlineUS < 0 || math.IsInf(q.DeadlineUS, 0) || math.IsNaN(q.DeadlineUS):
+		return fmt.Errorf("deadline_us %v is not a non-negative duration", q.DeadlineUS)
+	case q.DeadlineUS == 0 && (q.Deadline < 1 || q.Deadline > 5):
+		return fmt.Errorf("deadline number must be 1..5 (got %d)", q.Deadline)
+	case q.CapacitanceF <= 0 || math.IsInf(q.CapacitanceF, 0) || math.IsNaN(q.CapacitanceF):
+		return fmt.Errorf("capacitance_f %v is not a positive capacitance", q.CapacitanceF)
+	case q.TimeoutMS < 0:
+		return fmt.Errorf("timeout_ms %d is negative", q.TimeoutMS)
+	}
+	return nil
+}
+
+// DecodeRequest strictly decodes one request from r: unknown fields,
+// malformed JSON and trailing garbage are errors, defaults are applied, and
+// the result is validated. It never panics, whatever the input — the fuzz
+// harness holds it to that.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	q := &Request{}
+	if err := dec.Decode(q); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	// Exactly one JSON value per body.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, errors.New("decode request: trailing data after request object")
+	}
+	q.normalize()
+	if err := q.validate(); err != nil {
+		return nil, fmt.Errorf("invalid request: %w", err)
+	}
+	return q, nil
+}
+
+// key is the canonical identity of a normalized request, used to coalesce
+// identical in-flight requests before they consume queue slots. Everything
+// that can change the response participates; the timeout does not (it
+// changes whether a response arrives, never which response).
+func (q *Request) key() string {
+	var b strings.Builder
+	b.WriteString(strconv.Quote(q.Bench))
+	fmt.Fprintf(&b, "|%d|%d|%d", q.Input, q.Levels, q.Deadline)
+	fmt.Fprintf(&b, "|%s|%s",
+		strconv.FormatFloat(q.DeadlineUS, 'g', -1, 64),
+		strconv.FormatFloat(q.CapacitanceF, 'g', -1, 64))
+	fmt.Fprintf(&b, "|%t|%t|%t|%t|%t",
+		q.NoFilter, q.NoTransitionCosts, q.BlockBased, q.SkipMeasure, q.IncludeSchedule)
+	return b.String()
+}
+
+// SolverStats is the response's view of the branch-and-bound statistics. It
+// mirrors the solve artifact, so warm responses are bit-identical to the
+// cold responses that populated the cache.
+type SolverStats struct {
+	Status        string  `json:"status"`
+	Nodes         int     `json:"nodes"`
+	LPIters       int     `json:"lp_iters"`
+	SolveTimeNS   int64   `json:"solve_time_ns"`
+	WarmSolves    int     `json:"warm_solves"`
+	ColdSolves    int     `json:"cold_solves"`
+	WarmFallbacks int     `json:"warm_fallbacks"`
+	LPPivots      int     `json:"lp_pivots"`
+	ObjectiveUJ   float64 `json:"objective_uj"`
+}
+
+// Measured is the validation simulation's outcome.
+type Measured struct {
+	Run           exp.RunSummary `json:"run"`
+	MeetsDeadline bool           `json:"meets_deadline"`
+	SlackUS       float64        `json:"slack_us"`
+}
+
+// Baseline reports the best single-mode schedule meeting the deadline and
+// the DVS schedule's energy savings against it.
+type Baseline struct {
+	Mode     string  `json:"mode"`
+	EnergyUJ float64 `json:"energy_uj"`
+	Savings  float64 `json:"savings"`
+}
+
+// Response is the wire form of one optimization result. Every field except
+// ElapsedMS is deterministic for a given request, scale and cache: the
+// property tests assert responses are bit-identical to what dvs-opt computes
+// from the same artifact store.
+type Response struct {
+	Bench      string  `json:"bench"`
+	Input      string  `json:"input"`
+	Levels     int     `json:"levels"`
+	DeadlineUS float64 `json:"deadline_us"`
+
+	// Infeasible reports that no mode assignment meets the deadline; all
+	// result fields below it are absent in that case.
+	Infeasible bool `json:"infeasible,omitempty"`
+
+	PredictedEnergyUJ float64 `json:"predicted_energy_uj,omitempty"`
+	PredictedTimeUS   float64 `json:"predicted_time_us,omitempty"`
+	IndependentEdges  int     `json:"independent_edges,omitempty"`
+	TotalEdges        int     `json:"total_edges,omitempty"`
+
+	Solver   *SolverStats    `json:"solver,omitempty"`
+	Measured *Measured       `json:"measured,omitempty"`
+	Baseline *Baseline       `json:"baseline,omitempty"`
+	Schedule *schedfile.File `json:"schedule,omitempty"`
+
+	// ElapsedMS is this server's wall time for the request — the only
+	// nondeterministic field (zero it before comparing responses).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
