@@ -20,13 +20,15 @@ vet:
 	$(GO) vet ./...
 
 # The solver/pipeline/profiling/simulator/server benchmarks that rewrite
-# BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json, BENCH_sim.json and
-# BENCH_serve.json: serial MILP (warm vs cold inline), parallel MILP, the
-# artifact-store replay, recorded-vs-per-mode profile collection, the compiled
-# simulator kernel vs the reference interpreter, and the optimization server
-# under concurrent load (cold store vs warm). bench-all runs everything.
+# BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json, BENCH_sim.json,
+# BENCH_serve.json and BENCH_taskgraph.json: serial MILP (warm vs cold inline),
+# parallel MILP, the artifact-store replay, recorded-vs-per-mode profile
+# collection, the compiled simulator kernel vs the reference interpreter, the
+# optimization server under concurrent load (cold store vs warm), and the
+# multi-core task-graph solve with serial-vs-parallel schedule execution.
+# bench-all runs everything.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput)$$' -benchmem .
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput|BenchmarkTaskGraphSolve)$$' -benchmem .
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,17 +39,20 @@ bench-all:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime=10s ./internal/schedfile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecording$$' -fuzztime=10s ./internal/schedfile
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadGraphSpec$$' -fuzztime=10s ./internal/schedfile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/profile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime=10s ./internal/serve
 
 # The PR gate: vet, full build, the whole test suite, the race detector over
 # the packages with real concurrency (pipeline singleflight, experiment
-# fan-out, parallel branch-and-bound, concurrent replay of shared recordings,
-# and the optimization server's flight table and worker pool), and the
-# perf-record gate (no committed BENCH_*.json may claim a speedup below 1.0).
+# fan-out including the multi-core machine pool, parallel branch-and-bound,
+# concurrent replay of shared recordings, the multi-core scheduler-simulator
+# and HEFT placement, and the optimization server's flight table and worker
+# pool), and the perf-record gate (no committed BENCH_*.json may claim a
+# speedup below 1.0).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile ./internal/serve
+	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile ./internal/serve ./internal/core ./internal/schedfile ./internal/workloads
 	$(GO) run ./internal/tools/benchcheck

@@ -11,6 +11,14 @@
 //	dvs-opt -bench gsm/encode -deadline-us 90000   # explicit deadline in µs
 //	dvs-opt -bench mpeg/decode -levels 7 -cap 1e-6 -no-filter
 //	dvs-opt -bench epic -cache-dir .dvs-cache -manifest run.json
+//
+// Task-graph mode optimizes a DAG of benchmark tasks across cores — per-core
+// placement plus per-task voltage modes — and reports the static schedule and
+// the slack-reclaiming governed execution:
+//
+//	dvs-opt -task-graph fork-join-2w               # corpus graph by name
+//	dvs-opt -task-graph mpi-mix -cores 4           # override the core count
+//	dvs-opt -graph-file graph.json                 # spec file (see dvs-sim -graph)
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"ctdvs/internal/milp"
 	"ctdvs/internal/schedfile"
 	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
 )
 
 func main() {
@@ -43,9 +52,18 @@ func main() {
 	showSchedule := flag.Bool("schedule", false, "print the per-edge mode assignment")
 	showPlacement := flag.Bool("placement", false, "classify mode-set instructions (required/silent/hoistable)")
 	savePath := flag.String("save", "", "write the schedule to this file (dvs-sim executes it)")
+	graphName := flag.String("task-graph", "", "optimize a corpus task graph by name instead of a single benchmark")
+	graphFile := flag.String("graph-file", "", "optimize a task-graph spec file instead of a single benchmark")
+	cores := flag.Int("cores", 0, "override the task graph's core count (0 = the graph's own)")
+	saveGraph := flag.String("save-graph", "", "write the resolved task-graph spec to this file (dvs-sim -graph executes it)")
 	app.Parse()
 
 	cfg := app.Config()
+	if *graphName != "" || *graphFile != "" {
+		runGraph(app, cfg, *graphName, *graphFile, *cores, *levels, *deadlineUS, *capF, *noTrans, *saveGraph)
+		app.Close()
+		return
+	}
 	spec, err := cfg.Spec(*bench)
 	if err != nil {
 		app.Die(err)
@@ -154,4 +172,128 @@ func main() {
 		}
 	}
 	app.Close()
+}
+
+// runGraph is the task-graph path: resolve the spec (corpus name or file),
+// solve the per-core placement and mode assignment, execute the static
+// schedule, then run the slack-reclaiming governor over it.
+func runGraph(app *cli.App, cfg *exp.Config, name, file string, cores, levels int,
+	deadlineUS, capF float64, noTrans bool, saveGraph string) {
+	if name != "" && file != "" {
+		app.Dief("-task-graph and -graph-file are mutually exclusive")
+	}
+	var gs *workloads.GraphSpec
+	dl := deadlineUS
+	if name != "" {
+		var ok bool
+		if gs, ok = workloads.Graph(name); !ok {
+			known := ""
+			for _, g := range workloads.Graphs() {
+				known += " " + g.Name
+			}
+			app.Dief("unknown task graph %q (have:%s)", name, known)
+		}
+	} else {
+		f, err := os.Open(file)
+		if err != nil {
+			app.Die(err)
+		}
+		gf, err := schedfile.LoadGraphSpec(f)
+		f.Close()
+		if err != nil {
+			app.Die(err)
+		}
+		if gs, err = gf.Spec(); err != nil {
+			app.Die(err)
+		}
+		if dl == 0 {
+			dl = gf.DeadlineUS
+		}
+	}
+	if cores > 0 {
+		override := *gs
+		override.Cores = cores
+		gs = &override
+	}
+
+	gw, err := cfg.BuildGraph(gs, levels, dl)
+	if err != nil {
+		app.Die(err)
+	}
+	opts := &core.Options{
+		Regulator:         volt.DefaultRegulator().WithCapacitance(capF),
+		NoTransitionCosts: noTrans,
+		MILP:              &milp.Options{TimeLimit: app.SolveLimit, Workers: app.Workers},
+	}
+	res, err := cfg.OptimizeGraph(gw, opts)
+	if err != nil {
+		app.Die(err)
+	}
+
+	fmt.Printf("%s: %d tasks on %d cores, deadline %.1f µs (span %.1f..%.1f), %d voltage levels\n",
+		gs.Name, len(gw.Graph.Tasks), gw.Cores, gw.DeadlineUS, gw.FastUS, gw.SlowUS, levels)
+	fmt.Printf("MILP: %d nodes, %d LP solves, %v (%v)\n",
+		res.Solver.Nodes, res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
+		res.Solver.Status)
+	fmt.Printf("predicted: energy %.1f µJ, makespan %.1f µs\n",
+		res.PredictedEnergyUJ, res.PredictedMakespanUS)
+
+	static, err := cfg.SimulateGraph(gw, res.Schedule)
+	if err != nil {
+		app.Die(err)
+	}
+	st := &exp.Table{
+		Title:   "\nplacement (static schedule)",
+		Headers: []string{"task", "core", "mode", "start (µs)", "finish (µs)", "energy (µJ)"},
+	}
+	for _, run := range static.Runs {
+		st.Rows = append(st.Rows, []string{
+			run.Name,
+			fmt.Sprintf("%d", run.Core),
+			res.Schedule.Modes.Mode(run.Mode).String(),
+			fmt.Sprintf("%.1f", run.StartUS),
+			fmt.Sprintf("%.1f", run.FinishUS),
+			fmt.Sprintf("%.1f", run.EnergyUJ),
+		})
+	}
+	if err := st.Render(os.Stdout); err != nil {
+		app.Die(err)
+	}
+	fmt.Printf("\nstatic:   energy %.1f µJ, makespan %.1f µs, %d transitions, meets deadline: %v\n",
+		static.EnergyUJ, static.MakespanUS, static.Transitions,
+		static.MissedDeadlines == 0 && static.MakespanUS <= gw.DeadlineUS*(1+1e-9))
+
+	if !res.Degenerate {
+		governed, _, _, err := cfg.ReclaimGraph(gw, res.Schedule)
+		if err != nil {
+			app.Die(err)
+		}
+		grun, err := cfg.SimulateGraph(gw, governed)
+		if err != nil {
+			app.Die(err)
+		}
+		saving := 0.0
+		if static.EnergyUJ > 0 {
+			saving = 1 - grun.EnergyUJ/static.EnergyUJ
+		}
+		fmt.Printf("governed: energy %.1f µJ, makespan %.1f µs, meets deadline: %v (reclaims %.2f%%)\n",
+			grun.EnergyUJ, grun.MakespanUS,
+			grun.MissedDeadlines == 0 && grun.MakespanUS <= gw.DeadlineUS*(1+1e-9),
+			100*saving)
+	}
+
+	if saveGraph != "" {
+		f, err := os.Create(saveGraph)
+		if err != nil {
+			app.Die(err)
+		}
+		if err := schedfile.SaveGraphSpec(f, gs, gw.DeadlineUS); err != nil {
+			f.Close()
+			app.Die(err)
+		}
+		if err := f.Close(); err != nil {
+			app.Die(err)
+		}
+		fmt.Printf("graph spec written to %s\n", saveGraph)
+	}
 }

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"ctdvs/internal/ir"
+	"ctdvs/internal/lp"
+	"ctdvs/internal/milp"
+	"ctdvs/internal/profile"
+	"ctdvs/internal/sim"
+	"ctdvs/internal/volt"
+)
+
+// This file extends the MILP optimizer from one program on one core to a task
+// graph on N cores, following the two-stage decomposition of Aupy et al.:
+// a deterministic list scheduler fixes placement and per-core order (upward
+// ranks over fastest-mode durations, earliest-finish-time core selection),
+// then a MILP chooses one DVS mode per task to minimize total energy —
+// including inter-task transition costs on each core, linearized with the
+// same absolute-value trick as the single-program formulation — subject to
+// release times, precedence, per-core serialization and deadlines. The
+// 1-task/1-core graph bypasses all of this and delegates to OptimizeSingle,
+// keeping the degenerate case bit-identical to the pre-task-graph path.
+
+// GraphResult is the outcome of a task-graph optimization.
+type GraphResult struct {
+	// Schedule is the executable multi-core schedule (placement, per-core
+	// order, per-task modes; the degenerate case carries an intra-task
+	// edge-grained schedule instead of a fixed mode).
+	Schedule *sim.GraphSchedule
+	// PredictedEnergyUJ / PredictedMakespanUS are exact timeline predictions
+	// for the chosen modes (assembled by sim.PlanGraph from profile numbers,
+	// which are bit-identical to simulation — so prediction equals
+	// measurement).
+	PredictedEnergyUJ   float64
+	PredictedMakespanUS float64
+	// Plan is the predicted timeline (nil for the degenerate delegation).
+	Plan *sim.GraphResult
+	// Solver reports branch-and-bound statistics.
+	Solver *milp.Result
+	// Degenerate reports that the graph was solved by the single-program
+	// optimizer (1 task, 1 core).
+	Degenerate bool
+}
+
+// Degenerate reports whether the graph collapses to the single-program case:
+// one task on one core with no release offset.
+func degenerateGraph(g *ir.TaskGraph, cores int) bool {
+	return len(g.Tasks) == 1 && cores == 1 && g.Tasks[0].ReleaseUS == 0
+}
+
+// effectiveDeadline returns task t's finish bound: the graph deadline,
+// tightened by the task's own deadline when set.
+func effectiveDeadline(t *ir.Task, deadlineUS float64) float64 {
+	if t.DeadlineUS > 0 && t.DeadlineUS < deadlineUS {
+		return t.DeadlineUS
+	}
+	return deadlineUS
+}
+
+// WrapSingleGraph lifts a single-program optimization result into the
+// 1-task/1-core graph schedule. The intra-task schedule is the single-program
+// schedule itself, so executing the graph is bit-identical to executing the
+// original result.
+func WrapSingleGraph(res *Result) *GraphResult {
+	return &GraphResult{
+		Schedule: &sim.GraphSchedule{
+			Modes:     res.Schedule.Modes,
+			Regulator: res.Schedule.Regulator,
+			Cores:     1,
+			Placement: []sim.TaskPlacement{{Core: 0, Mode: res.Schedule.Initial}},
+			Order:     [][]int{{0}},
+			Intra:     []*sim.Schedule{res.Schedule},
+		},
+		PredictedEnergyUJ:   res.PredictedEnergyUJ,
+		PredictedMakespanUS: res.PredictedTimeUS[0],
+		Solver:              res.Solver,
+		Degenerate:          true,
+	}
+}
+
+// OptimizeGraph chooses per-task DVS modes for a list-scheduled task graph on
+// the given core count, minimizing predicted energy subject to the makespan
+// deadline (µs), per-task deadlines and release times. profiles[t] must
+// profile task t's program/input over a common mode set. The degenerate
+// 1-task/1-core graph delegates to OptimizeSingle.
+func OptimizeGraph(g *ir.TaskGraph, profiles []*profile.Profile, cores int, deadlineUS float64, opts *Options) (*GraphResult, error) {
+	return OptimizeGraphContext(context.Background(), g, profiles, cores, deadlineUS, opts)
+}
+
+// OptimizeGraphContext is OptimizeGraph under a context: cancellation aborts
+// the branch-and-bound search.
+func OptimizeGraphContext(ctx context.Context, g *ir.TaskGraph, profiles []*profile.Profile, cores int, deadlineUS float64, opts *Options) (*GraphResult, error) {
+	if err := validateGraphInputs(g, profiles, cores, deadlineUS); err != nil {
+		return nil, err
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Regulator == (volt.Regulator{}) {
+		o.Regulator = volt.DefaultRegulator()
+	}
+	if err := o.Regulator.Validate(); err != nil {
+		return nil, err
+	}
+
+	if degenerateGraph(g, cores) {
+		dl := effectiveDeadline(g.Tasks[0], deadlineUS)
+		res, err := Optimize([]Category{{Profile: profiles[0], Weight: 1, DeadlineUS: dl}}, &o)
+		if err != nil {
+			return nil, err
+		}
+		return WrapSingleGraph(res), nil
+	}
+
+	modes := profiles[0].Modes
+	nm := modes.Len()
+	n := len(g.Tasks)
+
+	// Stage 1: fix placement and per-core order with fastest-mode durations.
+	fast := make([]float64, n)
+	for t := 0; t < n; t++ {
+		fast[t] = profiles[t].TotalTimeUS[nm-1]
+	}
+	assign, order := ListPlacement(g, fast, cores)
+
+	// Stage 2: the MILP. Variables: per task, nm mode binaries (SOS1) and one
+	// continuous finish time; per consecutive same-core pair, |ΔV²| and |ΔV|
+	// variables pricing the transition, exactly as in the single-program
+	// formulation.
+	p := &milp.Problem{LP: lp.NewProblem()}
+	escale := 0.0
+	for t := 0; t < n; t++ {
+		escale += profiles[t].TotalEnergyUJ[nm-1]
+	}
+	if escale <= 0 {
+		escale = 1
+	}
+	tscale := deadlineUS
+
+	kbase := make([]int, n)
+	var ints []int
+	var sos [][]int
+	for t := 0; t < n; t++ {
+		row := make([]lp.Term, nm)
+		group := make([]int, nm)
+		for m := 0; m < nm; m++ {
+			v := p.LP.AddVariable(profiles[t].TotalEnergyUJ[m]/escale, 0, 1)
+			if m == 0 {
+				kbase[t] = v
+			}
+			row[m] = lp.Term{Var: v, Coef: 1}
+			group[m] = v
+			ints = append(ints, v)
+		}
+		p.LP.MustAddConstraint(row, lp.EQ, 1)
+		sos = append(sos, group)
+	}
+	p.Integers = ints
+	p.SOS1 = sos
+
+	fvar := make([]int, n)
+	for t := 0; t < n; t++ {
+		fvar[t] = p.LP.AddVariable(0, 0, effectiveDeadline(g.Tasks[t], deadlineUS)/tscale)
+	}
+
+	// Transition variables per consecutive same-core pair.
+	vmax, vmin := modes.Max().V, modes.Min().V
+	ct := o.Regulator.CT()
+	ce := o.Regulator.CE()
+	tvars := make(map[[2]int]int) // (a, b) consecutive on a core → tvar index
+	if !o.NoTransitionCosts {
+		for _, coreOrder := range order {
+			for i := 1; i < len(coreOrder); i++ {
+				a, b := coreOrder[i-1], coreOrder[i]
+				ev := p.LP.AddVariable(ce/escale, 0, vmax*vmax-vmin*vmin)
+				tv := p.LP.AddVariable(0, 0, vmax-vmin)
+				tvars[[2]int{a, b}] = tv
+				addAbs(p.LP, kbase[a], kbase[b], nm, func(m int) float64 {
+					vm := modes.Mode(m).V
+					return vm * vm
+				}, ev)
+				addAbs(p.LP, kbase[a], kbase[b], nm, func(m int) float64 {
+					return modes.Mode(m).V
+				}, tv)
+			}
+		}
+	}
+
+	// Timing constraints. execTerms(t) = f[t] − Σ_m D[t][m]·k[t][m] − the
+	// transition entering t; each lower bound (release, DAG predecessors,
+	// core predecessor) becomes one row.
+	execTerms := func(t int, coreIdx int, coreOrder []int) []lp.Term {
+		terms := []lp.Term{{Var: fvar[t], Coef: 1}}
+		for m := 0; m < nm; m++ {
+			terms = append(terms, lp.Term{Var: kbase[t] + m, Coef: -profiles[t].TotalTimeUS[m] / tscale})
+		}
+		if coreIdx > 0 {
+			if tv, ok := tvars[[2]int{coreOrder[coreIdx-1], t}]; ok {
+				terms = append(terms, lp.Term{Var: tv, Coef: -ct / tscale})
+			}
+		}
+		return terms
+	}
+	preds := g.Preds()
+	for _, coreOrder := range order {
+		for i, t := range coreOrder {
+			base := execTerms(t, i, coreOrder)
+			p.LP.MustAddConstraint(base, lp.GE, g.Tasks[t].ReleaseUS/tscale)
+			for _, u := range preds[t] {
+				row := append(append([]lp.Term(nil), base...), lp.Term{Var: fvar[u], Coef: -1})
+				p.LP.MustAddConstraint(row, lp.GE, 0)
+			}
+			if i > 0 {
+				a := coreOrder[i-1]
+				row := append(append([]lp.Term(nil), base...), lp.Term{Var: fvar[a], Coef: -1})
+				p.LP.MustAddConstraint(row, lp.GE, 0)
+			}
+		}
+	}
+
+	res, err := milp.SolveContext(ctx, p, o.MILP)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case milp.Optimal, milp.Feasible:
+	case milp.Infeasible:
+		return nil, ErrInfeasible
+	default:
+		return nil, fmt.Errorf("core: graph solver stopped with status %v and no incumbent", res.Status)
+	}
+
+	// Extract per-task modes and assemble the exact predicted timeline.
+	sched := &sim.GraphSchedule{
+		Modes:     modes,
+		Regulator: o.Regulator,
+		Cores:     cores,
+		Placement: make([]sim.TaskPlacement, n),
+		Order:     order,
+	}
+	durUS := make([]float64, n)
+	energyUJ := make([]float64, n)
+	for t := 0; t < n; t++ {
+		best, bestV := 0, -1.0
+		for m := 0; m < nm; m++ {
+			if v := res.X[kbase[t]+m]; v > bestV {
+				best, bestV = m, v
+			}
+		}
+		sched.Placement[t] = sim.TaskPlacement{Core: assign[t], Mode: best}
+		durUS[t] = profiles[t].TotalTimeUS[best]
+		energyUJ[t] = profiles[t].TotalEnergyUJ[best]
+	}
+	plan, err := sim.PlanGraph(g, sched, durUS, energyUJ)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphResult{
+		Schedule:            sched,
+		PredictedEnergyUJ:   plan.EnergyUJ,
+		PredictedMakespanUS: plan.MakespanUS,
+		Plan:                plan,
+		Solver:              res,
+	}, nil
+}
+
+func validateGraphInputs(g *ir.TaskGraph, profiles []*profile.Profile, cores int, deadlineUS float64) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if cores < 1 {
+		return fmt.Errorf("core: %d cores", cores)
+	}
+	if deadlineUS <= 0 || math.IsInf(deadlineUS, 0) || math.IsNaN(deadlineUS) {
+		return fmt.Errorf("core: graph deadline %v is not a positive duration", deadlineUS)
+	}
+	if len(profiles) != len(g.Tasks) {
+		return fmt.Errorf("core: %d profiles for %d tasks", len(profiles), len(g.Tasks))
+	}
+	modes := profiles[0].Modes
+	for t, pr := range profiles {
+		if pr == nil {
+			return fmt.Errorf("core: task %d has nil profile", t)
+		}
+		if pr.Program != g.Tasks[t].Program {
+			return fmt.Errorf("core: profile %d is of program %q, task runs %q", t, pr.Program.Name, g.Tasks[t].Program.Name)
+		}
+		if pr.Modes.Len() != modes.Len() {
+			return fmt.Errorf("core: profile %d uses a different mode set", t)
+		}
+		for m := 0; m < modes.Len(); m++ {
+			if pr.Modes.Mode(m) != modes.Mode(m) {
+				return fmt.Errorf("core: profile %d uses a different mode set", t)
+			}
+		}
+	}
+	return nil
+}
+
+// ListPlacement fixes task-to-core assignment and per-core execution order
+// with a HEFT-style list scheduler: tasks are prioritized by upward rank
+// (duration plus the longest downstream chain, computed over the given
+// durations) and each is placed on the core where it finishes earliest.
+// Ties break deterministically (smaller task index, then lower core), so the
+// placement is a pure function of its inputs. The returned order is
+// precedence-consistent: ranks strictly decrease along edges, so every
+// predecessor is placed before its successors.
+func ListPlacement(g *ir.TaskGraph, durUS []float64, cores int) (assign []int, order [][]int) {
+	n := len(g.Tasks)
+	succs := g.Succs()
+	preds := g.Preds()
+	topo, _ := g.TopoOrder() // graph already validated by callers
+	rank := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for _, s := range succs[t] {
+			if rank[s] > best {
+				best = rank[s]
+			}
+		}
+		rank[t] = durUS[t] + best
+	}
+	prio := make([]int, n)
+	for i := range prio {
+		prio[i] = i
+	}
+	// Stable selection sort by (rank desc, index asc) — n ≤ ir.MaxTasks.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if rank[prio[j]] > rank[prio[best]] {
+				best = j
+			}
+		}
+		prio[i], prio[best] = prio[best], prio[i]
+	}
+
+	assign = make([]int, n)
+	order = make([][]int, cores)
+	finish := make([]float64, n)
+	coreFree := make([]float64, cores)
+	for _, t := range prio {
+		est := g.Tasks[t].ReleaseUS
+		for _, u := range preds[t] {
+			if finish[u] > est {
+				est = finish[u]
+			}
+		}
+		bestCore, bestFinish := 0, math.Inf(1)
+		for c := 0; c < cores; c++ {
+			start := est
+			if coreFree[c] > start {
+				start = coreFree[c]
+			}
+			if f := start + durUS[t]; f < bestFinish {
+				bestCore, bestFinish = c, f
+			}
+		}
+		assign[t] = bestCore
+		finish[t] = bestFinish
+		coreFree[bestCore] = bestFinish
+		order[bestCore] = append(order[bestCore], t)
+	}
+	return assign, order
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ctdvs/internal/ir"
 	"ctdvs/internal/milp"
@@ -64,6 +65,13 @@ type Config struct {
 	specs        map[string]*workloads.Spec
 	machines     sync.Pool
 	fingerprints sync.Map // *profile.Profile -> string
+
+	// Machine-pool accounting: outstanding borrows and the high-water mark.
+	// The multi-core simulator draws cores×workers machines at peak; the
+	// no-leak invariant (outstanding returns to zero) is asserted under the
+	// race detector in tests.
+	poolOutstanding atomic.Int64
+	poolPeak        atomic.Int64
 }
 
 // NewConfig returns an experiment configuration at the given workload scale.
@@ -84,6 +92,13 @@ func NewConfig(scale float64) *Config {
 // cell; pair with releaseMachine. Machines are pooled because construction
 // is cheap but not free and cells are short-lived.
 func (c *Config) acquireMachine() *sim.Machine {
+	out := c.poolOutstanding.Add(1)
+	for {
+		peak := c.poolPeak.Load()
+		if out <= peak || c.poolPeak.CompareAndSwap(peak, out) {
+			break
+		}
+	}
 	return c.machines.Get().(*sim.Machine)
 }
 
@@ -93,6 +108,14 @@ func (c *Config) acquireMachine() *sim.Machine {
 func (c *Config) releaseMachine(m *sim.Machine) {
 	m.Reset()
 	c.machines.Put(m)
+	c.poolOutstanding.Add(-1)
+}
+
+// PoolStats reports the machine pool's current outstanding borrows and its
+// high-water mark. Outstanding must be zero whenever no experiment cell is
+// running — a non-zero value means a borrower leaked a machine.
+func (c *Config) PoolStats() (outstanding, peak int64) {
+	return c.poolOutstanding.Load(), c.poolPeak.Load()
 }
 
 // solverOpts returns the MILP options experiment cells should pass to the

@@ -6,6 +6,7 @@ import (
 	"ctdvs/internal/core"
 	"ctdvs/internal/milp"
 	"ctdvs/internal/pipeline"
+	"ctdvs/internal/schedfile"
 	"ctdvs/internal/sim"
 )
 
@@ -136,4 +137,73 @@ func validateKey(profileFP, scheduleFP string, mc sim.Config) pipeline.Key {
 	b.Str("schedule", scheduleFP)
 	addSimConfig(b, mc)
 	return b.Sum()
+}
+
+// addGraphStructure hashes everything that identifies the task-graph instance
+// itself: per task, the profile fingerprint (which pins the program, input,
+// mode set and every measured number) plus its release and per-task deadline;
+// then the edge list.
+func addGraphStructure(b *pipeline.KeyBuilder, gw *GraphWorkload, fingerprints []string) {
+	for t, task := range gw.Graph.Tasks {
+		b.Int("task", int64(t))
+		b.Str("task.profile", fingerprints[t])
+		b.Float("task.release_us", task.ReleaseUS)
+		b.Float("task.deadline_us", task.DeadlineUS)
+	}
+	for _, e := range gw.Graph.Edges {
+		b.Int("edge.from", int64(e[0]))
+		b.Int("edge.to", int64(e[1]))
+	}
+}
+
+// graphSolveKey addresses one task-graph solve: the graph structure, the core
+// count and deadline, the regulator and the canonicalized MILP options.
+func graphSolveKey(gw *GraphWorkload, fingerprints []string, o *core.Options) pipeline.Key {
+	b := pipeline.NewKey(pipeline.StageGraphSolve)
+	addGraphStructure(b, gw, fingerprints)
+	b.Int("cores", int64(gw.Cores))
+	b.Float("deadline_us", gw.DeadlineUS)
+	b.Float("regulator.c", o.Regulator.C)
+	b.Float("regulator.u", o.Regulator.U)
+	b.Float("regulator.imax", o.Regulator.IMax)
+	b.Bool("no_transition_costs", o.NoTransitionCosts)
+	addMILPOptions(b, o.MILP)
+	return b.Sum()
+}
+
+// graphSimKey addresses one graph-schedule execution: the graph structure,
+// the full schedule (cores, per-task placement, per-core order, regulator,
+// per-task intra-schedule fingerprints when present) and the machine
+// configuration. The mode set is covered by the profile fingerprints.
+func graphSimKey(gw *GraphWorkload, fingerprints []string, s *sim.GraphSchedule, mc sim.Config) (pipeline.Key, error) {
+	b := pipeline.NewKey(pipeline.StageGraphSim)
+	addGraphStructure(b, gw, fingerprints)
+	b.Int("cores", int64(s.Cores))
+	b.Float("regulator.c", s.Regulator.C)
+	b.Float("regulator.u", s.Regulator.U)
+	b.Float("regulator.imax", s.Regulator.IMax)
+	for t, pl := range s.Placement {
+		b.Int("place.task", int64(t))
+		b.Int("place.core", int64(pl.Core))
+		b.Int("place.mode", int64(pl.Mode))
+	}
+	for c, order := range s.Order {
+		b.Int("order.core", int64(c))
+		for _, t := range order {
+			b.Int("order.task", int64(t))
+		}
+	}
+	for t := 0; t < len(s.Intra); t++ {
+		if s.Intra[t] == nil {
+			continue
+		}
+		fp, err := schedfile.Fingerprint(gw.Graph.Tasks[t].Program.Name, s.Intra[t])
+		if err != nil {
+			return "", err
+		}
+		b.Int("intra.task", int64(t))
+		b.Str("intra.schedule", fp)
+	}
+	addSimConfig(b, mc)
+	return b.Sum(), nil
 }

@@ -1,0 +1,191 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// This file adds the task-graph layer on top of single programs: a Task wraps
+// one program/input pair, and a TaskGraph arranges tasks in a precedence DAG
+// to be list-scheduled across N cores (packages core and sim supply the
+// optimizer and the multi-core simulator). The single-program world of the
+// paper is the degenerate 1-task/1-core graph, and every consumer keeps that
+// path bit-identical to the pre-task-graph code.
+
+// MaxTasks bounds the number of tasks a TaskGraph may hold. Decoders reject
+// larger specs before building per-task structures, so a hostile spec cannot
+// make the toolchain allocate per-task simulator state for millions of tasks.
+const MaxTasks = 512
+
+// Task is one node of a TaskGraph: a program executed on one input, with an
+// optional release time (earliest start) and an optional per-task deadline
+// (typically set on sinks; 0 means none beyond the graph deadline).
+type Task struct {
+	// Name identifies the task in schedules and reports; unique per graph.
+	Name    string
+	Program *Program
+	Input   Input
+	// ReleaseUS is the earliest time (µs from graph start) the task may begin.
+	ReleaseUS float64
+	// DeadlineUS, when positive, bounds this task's finish time (µs from
+	// graph start) in addition to any whole-graph makespan deadline.
+	DeadlineUS float64
+}
+
+// TaskGraph is a precedence DAG of tasks. Edges[i] = [u, v] means task u must
+// finish before task v may start (indices into Tasks).
+type TaskGraph struct {
+	Name  string
+	Tasks []*Task
+	Edges [][2]int
+}
+
+// Validate checks structural invariants: a non-empty task list within
+// MaxTasks, named tasks with programs, non-negative release/deadline times,
+// in-range edge endpoints, no self-edges or duplicate edges, and acyclicity.
+func (g *TaskGraph) Validate() error {
+	if g == nil {
+		return fmt.Errorf("ir: nil task graph")
+	}
+	n := len(g.Tasks)
+	if n == 0 {
+		return fmt.Errorf("ir: task graph %q has no tasks", g.Name)
+	}
+	if n > MaxTasks {
+		return fmt.Errorf("ir: task graph %q has %d tasks (max %d)", g.Name, n, MaxTasks)
+	}
+	names := make(map[string]bool, n)
+	for i, t := range g.Tasks {
+		if t == nil {
+			return fmt.Errorf("ir: task graph %q: task %d is nil", g.Name, i)
+		}
+		if t.Name == "" {
+			return fmt.Errorf("ir: task graph %q: task %d has no name", g.Name, i)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("ir: task graph %q: duplicate task name %q", g.Name, t.Name)
+		}
+		names[t.Name] = true
+		if t.Program == nil {
+			return fmt.Errorf("ir: task graph %q: task %q has no program", g.Name, t.Name)
+		}
+		if t.ReleaseUS < 0 {
+			return fmt.Errorf("ir: task graph %q: task %q has negative release %v", g.Name, t.Name, t.ReleaseUS)
+		}
+		if t.DeadlineUS < 0 {
+			return fmt.Errorf("ir: task graph %q: task %q has negative deadline %v", g.Name, t.Name, t.DeadlineUS)
+		}
+	}
+	seen := make(map[[2]int]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return fmt.Errorf("ir: task graph %q: edge %d→%d out of range (have %d tasks)", g.Name, u, v, n)
+		}
+		if u == v {
+			return fmt.Errorf("ir: task graph %q: self-edge on task %d", g.Name, u)
+		}
+		if seen[e] {
+			return fmt.Errorf("ir: task graph %q: duplicate edge %d→%d", g.Name, u, v)
+		}
+		seen[e] = true
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a deterministic topological order of the tasks (Kahn's
+// algorithm, smallest ready index first) or an error naming a task on a cycle.
+func (g *TaskGraph) TopoOrder() ([]int, error) {
+	n := len(g.Tasks)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e[1]]++
+	}
+	succs := g.Succs()
+	done := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && indeg[i] == 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			for i := 0; i < n; i++ {
+				if !done[i] {
+					return nil, fmt.Errorf("ir: task graph %q: cycle through task %d (%s)", g.Name, i, g.Tasks[i].Name)
+				}
+			}
+		}
+		done[pick] = true
+		order = append(order, pick)
+		for _, s := range succs[pick] {
+			indeg[s]--
+		}
+	}
+	return order, nil
+}
+
+// Preds returns, per task, the sorted predecessor task indices.
+func (g *TaskGraph) Preds() [][]int {
+	preds := make([][]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+	for i := range preds {
+		sortInts(preds[i])
+	}
+	return preds
+}
+
+// Succs returns, per task, the sorted successor task indices.
+func (g *TaskGraph) Succs() [][]int {
+	succs := make([][]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		succs[e[0]] = append(succs[e[0]], e[1])
+	}
+	for i := range succs {
+		sortInts(succs[i])
+	}
+	return succs
+}
+
+// Sinks returns the tasks with no successors, in index order.
+func (g *TaskGraph) Sinks() []int {
+	hasSucc := make([]bool, len(g.Tasks))
+	for _, e := range g.Edges {
+		hasSucc[e[0]] = true
+	}
+	var sinks []int
+	for i := range g.Tasks {
+		if !hasSucc[i] {
+			sinks = append(sinks, i)
+		}
+	}
+	return sinks
+}
+
+// sortInts is an allocation-free insertion sort for the short adjacency lists
+// above (package sort would be fine too; this avoids the interface overhead in
+// the simulator's per-run setup).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SingleTaskGraph wraps one program/input as the degenerate 1-task graph —
+// the seam through which the pre-task-graph single-program tooling runs
+// unchanged.
+func SingleTaskGraph(p *Program, in Input) *TaskGraph {
+	return &TaskGraph{
+		Name:  p.Name,
+		Tasks: []*Task{{Name: p.Name, Program: p, Input: in}},
+	}
+}

@@ -1,0 +1,127 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	b := NewBuilder(name)
+	blk := b.Block("body")
+	blk.Compute(10)
+	blk.Exit()
+	return b.MustFinish()
+}
+
+func diamond(t *testing.T) *TaskGraph {
+	t.Helper()
+	p := tinyProgram(t, "p")
+	mk := func(name string) *Task {
+		return &Task{Name: name, Program: p, Input: Input{Name: "in", Seed: 1}}
+	}
+	return &TaskGraph{
+		Name:  "diamond",
+		Tasks: []*Task{mk("a"), mk("b"), mk("c"), mk("d")},
+		Edges: [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+	}
+}
+
+func TestTaskGraphValidateOK(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+func TestTaskGraphValidateErrors(t *testing.T) {
+	p := tinyProgram(t, "p")
+	task := func(name string) *Task { return &Task{Name: name, Program: p} }
+	cases := []struct {
+		name string
+		g    *TaskGraph
+		want string
+	}{
+		{"empty", &TaskGraph{Name: "e"}, "no tasks"},
+		{"nil task", &TaskGraph{Name: "n", Tasks: []*Task{nil}}, "is nil"},
+		{"unnamed", &TaskGraph{Name: "u", Tasks: []*Task{{Program: p}}}, "no name"},
+		{"no program", &TaskGraph{Name: "p", Tasks: []*Task{{Name: "t"}}}, "no program"},
+		{"dup name", &TaskGraph{Name: "d", Tasks: []*Task{task("t"), task("t")}}, "duplicate task name"},
+		{"neg release", &TaskGraph{Name: "r", Tasks: []*Task{{Name: "t", Program: p, ReleaseUS: -1}}}, "negative release"},
+		{"neg deadline", &TaskGraph{Name: "dl", Tasks: []*Task{{Name: "t", Program: p, DeadlineUS: -1}}}, "negative deadline"},
+		{"dangling edge", &TaskGraph{Name: "g", Tasks: []*Task{task("t")}, Edges: [][2]int{{0, 3}}}, "out of range"},
+		{"self edge", &TaskGraph{Name: "s", Tasks: []*Task{task("t")}, Edges: [][2]int{{0, 0}}}, "self-edge"},
+		{"dup edge", &TaskGraph{Name: "de", Tasks: []*Task{task("a"), task("b")}, Edges: [][2]int{{0, 1}, {0, 1}}}, "duplicate edge"},
+		{"cycle", &TaskGraph{Name: "c", Tasks: []*Task{task("a"), task("b")}, Edges: [][2]int{{0, 1}, {1, 0}}}, "cycle"},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTaskGraphValidateMaxTasks(t *testing.T) {
+	p := tinyProgram(t, "p")
+	g := &TaskGraph{Name: "big"}
+	for i := 0; i <= MaxTasks; i++ {
+		g.Tasks = append(g.Tasks, &Task{Name: string(rune('a')) + itoa(i), Program: p})
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "max") {
+		t.Fatalf("oversized graph accepted: %v", err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("topo order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPredsSuccsSinks(t *testing.T) {
+	g := diamond(t)
+	preds := g.Preds()
+	if len(preds[3]) != 2 || preds[3][0] != 1 || preds[3][1] != 2 {
+		t.Fatalf("preds of sink = %v, want [1 2]", preds[3])
+	}
+	succs := g.Succs()
+	if len(succs[0]) != 2 || succs[0][0] != 1 || succs[0][1] != 2 {
+		t.Fatalf("succs of source = %v, want [1 2]", succs[0])
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != 3 {
+		t.Fatalf("sinks = %v, want [3]", sinks)
+	}
+}
+
+func TestSingleTaskGraph(t *testing.T) {
+	p := tinyProgram(t, "solo")
+	g := SingleTaskGraph(p, Input{Name: "in", Seed: 7})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 1 || g.Tasks[0].Program != p || g.Tasks[0].Input.Name != "in" {
+		t.Fatalf("degenerate graph malformed: %+v", g)
+	}
+}

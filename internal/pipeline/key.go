@@ -37,6 +37,11 @@ const (
 	StageFormulate Kind = "formulate" // MILP construction (§4.2–4.3)
 	StageSolve     Kind = "solve"     // branch-and-bound search
 	StageValidate  Kind = "validate"  // schedule re-simulation
+
+	// Task-graph stages (multi-core extension): the graph-level solve
+	// (placement + per-task modes) and the graph re-simulation.
+	StageGraphSolve Kind = "graphsolve"
+	StageGraphSim   Kind = "graphsim"
 )
 
 // Key is the content address of one artifact: a SHA-256 digest (hex) over a

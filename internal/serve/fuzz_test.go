@@ -28,6 +28,18 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(``)
 	f.Add(`{"bench":"x","capacitance_f":1e999}`)
 	f.Add(`{"bench":"x","input":-1}`)
+	// Task-graph requests: corpus by name, inline DAGs, and the rejection
+	// cases (cycles, dangling edges, missing deadline, bench+graph conflict).
+	f.Add(`{"graph":{"name":"fork-join-2w"}}`)
+	f.Add(`{"graph":{"cores":2,"deadline_frac":0.5,` +
+		`"tasks":[{"bench":"epic"},{"bench":"gsm/encode"}],"edges":[[0,1]]}}`)
+	f.Add(`{"deadline_us":90000,"graph":{"cores":1,"tasks":[{"bench":"epic"}]}}`)
+	f.Add(`{"bench":"epic","graph":{"name":"chain-4"}}`)
+	f.Add(`{"graph":{"cores":2,"deadline_frac":0.5,` +
+		`"tasks":[{"bench":"a"},{"bench":"b"}],"edges":[[0,1],[1,0]]}}`)
+	f.Add(`{"graph":{"cores":2,"deadline_frac":0.5,"tasks":[{"bench":"a"}],"edges":[[0,9]]}}`)
+	f.Add(`{"graph":{"cores":2,"tasks":[{"bench":"a"}]}}`)
+	f.Add(`{"graph":{"name":"chain-4","cores":2}}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		q, err := DecodeRequest(strings.NewReader(data))

@@ -11,6 +11,7 @@ import (
 
 	"ctdvs/internal/exp"
 	"ctdvs/internal/schedfile"
+	"ctdvs/internal/sim"
 )
 
 // Request is the wire form of one optimization request: which workload to
@@ -44,6 +45,28 @@ type Request struct {
 	// The timeout cancels queue waits, simulations and the branch-and-bound
 	// search; it never changes artifact identity.
 	TimeoutMS int64 `json:"timeout_ms"`
+	// Graph, when present, asks for a multi-core task-graph optimization
+	// instead of a single benchmark; Bench/Input/Deadline are then unused
+	// (DeadlineUS still overrides the graph's own deadline).
+	Graph *GraphRequest `json:"graph,omitempty"`
+}
+
+// GraphRequest selects a task-graph workload: either a corpus graph by name,
+// or an inline DAG of benchmark tasks. Inline topology is validated — cycles,
+// dangling edges and oversized task counts are rejected — before any
+// program-scale work happens.
+type GraphRequest struct {
+	// Name selects a corpus graph (see workloads.Graphs); mutually exclusive
+	// with the inline fields below.
+	Name string `json:"name,omitempty"`
+	// Cores is the target core count for an inline graph.
+	Cores int `json:"cores,omitempty"`
+	// DeadlineFrac positions the deadline in the [all-fastest, all-slowest]
+	// placed-makespan span; the request's deadline_us overrides it.
+	DeadlineFrac float64 `json:"deadline_frac,omitempty"`
+	// Tasks and Edges define the inline DAG.
+	Tasks []schedfile.GraphTaskJSON `json:"tasks,omitempty"`
+	Edges [][2]int                  `json:"edges,omitempty"`
 }
 
 // normalize applies defaults in place.
@@ -62,6 +85,9 @@ func (q *Request) normalize() {
 // validate rejects requests no handler stage would accept. Workload
 // existence is checked separately (it needs the experiment config).
 func (q *Request) validate() error {
+	if q.Graph != nil {
+		return q.validateGraph()
+	}
 	switch {
 	case q.Bench == "":
 		return errors.New("bench is required")
@@ -77,6 +103,56 @@ func (q *Request) validate() error {
 		return fmt.Errorf("capacitance_f %v is not a positive capacitance", q.CapacitanceF)
 	case q.TimeoutMS < 0:
 		return fmt.Errorf("timeout_ms %d is negative", q.TimeoutMS)
+	}
+	return nil
+}
+
+// validateGraph rejects malformed task-graph requests: conflicting selector
+// spellings, bad core counts, missing deadlines, and — via the shared
+// schedfile topology validator — cyclic graphs, dangling edges and oversized
+// task counts, all before any benchmark program is built.
+func (q *Request) validateGraph() error {
+	g := q.Graph
+	switch {
+	case q.Bench != "":
+		return errors.New("bench and graph are mutually exclusive")
+	case q.Levels != 3 && q.Levels != 7 && q.Levels != 13:
+		return fmt.Errorf("levels must be 3, 7 or 13 (got %d)", q.Levels)
+	case q.DeadlineUS < 0 || math.IsInf(q.DeadlineUS, 0) || math.IsNaN(q.DeadlineUS):
+		return fmt.Errorf("deadline_us %v is not a non-negative duration", q.DeadlineUS)
+	case q.CapacitanceF <= 0 || math.IsInf(q.CapacitanceF, 0) || math.IsNaN(q.CapacitanceF):
+		return fmt.Errorf("capacitance_f %v is not a positive capacitance", q.CapacitanceF)
+	case q.TimeoutMS < 0:
+		return fmt.Errorf("timeout_ms %d is negative", q.TimeoutMS)
+	}
+	if g.Name != "" {
+		if g.Cores != 0 || g.DeadlineFrac != 0 || len(g.Tasks) != 0 || len(g.Edges) != 0 {
+			return errors.New("graph.name and an inline graph are mutually exclusive")
+		}
+		return nil
+	}
+	switch {
+	case g.Cores < 1:
+		return fmt.Errorf("graph.cores must be at least 1 (got %d)", g.Cores)
+	case g.DeadlineFrac < 0 || g.DeadlineFrac > 1 || math.IsNaN(g.DeadlineFrac):
+		return fmt.Errorf("graph.deadline_frac %v outside [0, 1]", g.DeadlineFrac)
+	case q.DeadlineUS == 0 && g.DeadlineFrac == 0:
+		return errors.New("a graph request needs deadline_us or graph.deadline_frac")
+	}
+	if err := schedfile.ValidateTopology(len(g.Tasks), g.Edges); err != nil {
+		return err
+	}
+	for i, task := range g.Tasks {
+		switch {
+		case task.Bench == "":
+			return fmt.Errorf("graph task %d names no benchmark", i)
+		case task.Input < 0:
+			return fmt.Errorf("graph task %d selects negative input %d", i, task.Input)
+		case task.ReleaseUS < 0 || math.IsInf(task.ReleaseUS, 0) || math.IsNaN(task.ReleaseUS):
+			return fmt.Errorf("graph task %d has release %v", i, task.ReleaseUS)
+		case task.DeadlineUS < 0 || math.IsInf(task.DeadlineUS, 0) || math.IsNaN(task.DeadlineUS):
+			return fmt.Errorf("graph task %d has deadline %v", i, task.DeadlineUS)
+		}
 	}
 	return nil
 }
@@ -116,6 +192,20 @@ func (q *Request) key() string {
 		strconv.FormatFloat(q.CapacitanceF, 'g', -1, 64))
 	fmt.Fprintf(&b, "|%t|%t|%t|%t|%t",
 		q.NoFilter, q.NoTransitionCosts, q.BlockBased, q.SkipMeasure, q.IncludeSchedule)
+	if g := q.Graph; g != nil {
+		fmt.Fprintf(&b, "|graph:%s|%d|%s",
+			strconv.Quote(g.Name), g.Cores,
+			strconv.FormatFloat(g.DeadlineFrac, 'g', -1, 64))
+		for _, task := range g.Tasks {
+			fmt.Fprintf(&b, "|t:%s,%d,%s,%s",
+				strconv.Quote(task.Bench), task.Input,
+				strconv.FormatFloat(task.ReleaseUS, 'g', -1, 64),
+				strconv.FormatFloat(task.DeadlineUS, 'g', -1, 64))
+		}
+		for _, e := range g.Edges {
+			fmt.Fprintf(&b, "|e:%d,%d", e[0], e[1])
+		}
+	}
 	return b.String()
 }
 
@@ -173,9 +263,43 @@ type Response struct {
 	Baseline *Baseline       `json:"baseline,omitempty"`
 	Schedule *schedfile.File `json:"schedule,omitempty"`
 
+	// Graph carries the task-graph result when the request asked for one;
+	// the single-program fields above are then absent.
+	Graph *GraphResponse `json:"graph,omitempty"`
+
 	// ElapsedMS is this server's wall time for the request — the only
 	// nondeterministic field (zero it before comparing responses).
 	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// GraphMeasured is one task-graph execution's outcome.
+type GraphMeasured struct {
+	Run           exp.GraphRunSummary `json:"run"`
+	MeetsDeadline bool                `json:"meets_deadline"`
+	SlackUS       float64             `json:"slack_us"`
+}
+
+// GraphResponse is the task-graph half of a Response: the solved placement
+// and ordering, the solver's exact predictions, and (unless skip_measure) the
+// measured static execution plus the slack-reclaiming governed execution.
+type GraphResponse struct {
+	Name       string   `json:"name"`
+	Cores      int      `json:"cores"`
+	Tasks      []string `json:"tasks"`
+	DeadlineUS float64  `json:"deadline_us"`
+	// Degenerate reports that the 1-task/1-core request was answered by the
+	// single-program optimizer (sharing its cache artifacts bit-for-bit).
+	Degenerate bool `json:"degenerate,omitempty"`
+
+	Placement []sim.TaskPlacement `json:"placement,omitempty"`
+	Order     [][]int             `json:"order,omitempty"`
+	Modes     []string            `json:"modes,omitempty"`
+
+	PredictedEnergyUJ   float64 `json:"predicted_energy_uj,omitempty"`
+	PredictedMakespanUS float64 `json:"predicted_makespan_us,omitempty"`
+
+	Static   *GraphMeasured `json:"static,omitempty"`
+	Governed *GraphMeasured `json:"governed,omitempty"`
 }
 
 // errorBody is the JSON error envelope.

@@ -36,6 +36,7 @@ import (
 	"ctdvs/internal/milp"
 	"ctdvs/internal/schedfile"
 	"ctdvs/internal/volt"
+	"ctdvs/internal/workloads"
 )
 
 // ErrBusy reports that the request was rejected because the worker pool and
@@ -192,17 +193,25 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Workload existence is a client error, caught before any queueing.
-	spec, err := s.cfg.Spec(req.Bench)
-	if err != nil {
-		s.stats.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if req.Input >= len(spec.Inputs) {
-		s.stats.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("%s has %d inputs, no input %d", req.Bench, len(spec.Inputs), req.Input))
-		return
+	if req.Graph != nil {
+		if err := s.checkGraphWorkloads(req.Graph); err != nil {
+			s.stats.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		spec, err := s.cfg.Spec(req.Bench)
+		if err != nil {
+			s.stats.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Input >= len(spec.Inputs) {
+			s.stats.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("%s has %d inputs, no input %d", req.Bench, len(spec.Inputs), req.Input))
+			return
+		}
 	}
 	s.stats.requests.Add(1)
 
@@ -338,6 +347,9 @@ func (s *Server) execute(ctx context.Context, req *Request) (*Response, error) {
 // regulator, options and measurement — so a served response is built from
 // the same artifacts the CLI reads and writes.
 func (s *Server) optimize(ctx context.Context, req *Request) (*Response, error) {
+	if req.Graph != nil {
+		return s.optimizeGraph(ctx, req)
+	}
 	spec, err := s.cfg.Spec(req.Bench)
 	if err != nil {
 		return nil, err
@@ -423,6 +435,154 @@ func (s *Server) optimize(ctx context.Context, req *Request) (*Response, error) 
 		}
 	}
 	return resp, nil
+}
+
+// checkGraphWorkloads rejects graph requests naming unknown corpus graphs,
+// unknown benchmarks or out-of-range inputs before they consume a queue slot.
+func (s *Server) checkGraphWorkloads(g *GraphRequest) error {
+	if g.Name != "" {
+		if _, ok := workloads.Graph(g.Name); !ok {
+			return fmt.Errorf("unknown task graph %q", g.Name)
+		}
+		return nil
+	}
+	for i, task := range g.Tasks {
+		spec, err := s.cfg.Spec(task.Bench)
+		if err != nil {
+			return fmt.Errorf("graph task %d: %w", i, err)
+		}
+		if task.Input >= len(spec.Inputs) {
+			return fmt.Errorf("graph task %d: %s has %d inputs, no input %d",
+				i, task.Bench, len(spec.Inputs), task.Input)
+		}
+	}
+	return nil
+}
+
+// graphSpec resolves the request's graph selector to a workload spec: the
+// corpus graph by name, or an inline spec built from the request body.
+func (s *Server) graphSpec(req *Request) (*workloads.GraphSpec, error) {
+	g := req.Graph
+	if g.Name != "" {
+		gs, ok := workloads.Graph(g.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown task graph %q", g.Name)
+		}
+		return gs, nil
+	}
+	gs := &workloads.GraphSpec{
+		Name:         "inline",
+		Cores:        g.Cores,
+		DeadlineFrac: g.DeadlineFrac,
+		Tasks:        make([]workloads.TaskRef, len(g.Tasks)),
+		Edges:        g.Edges,
+	}
+	for i, task := range g.Tasks {
+		gs.Tasks[i] = workloads.TaskRef{
+			Bench:      task.Bench,
+			Input:      task.Input,
+			ReleaseUS:  task.ReleaseUS,
+			DeadlineUS: task.DeadlineUS,
+		}
+	}
+	return gs, nil
+}
+
+// optimizeGraph mirrors the exp task-graph flow: build the workload, solve the
+// per-core placement and mode assignment, then (unless skip_measure) execute
+// the static schedule and the slack-reclaiming governed schedule. Every stage
+// runs through the same artifact store the single-program path uses — the
+// degenerate 1-task/1-core graph resolves from single-program artifacts.
+func (s *Server) optimizeGraph(ctx context.Context, req *Request) (*Response, error) {
+	gs, err := s.graphSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := s.cfg.BuildGraphCtx(ctx, gs, req.Levels, req.DeadlineUS)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := volt.DefaultRegulator().WithCapacitance(req.CapacitanceF)
+	opts := &core.Options{
+		Regulator:         reg,
+		NoTransitionCosts: req.NoTransitionCosts,
+		MILP:              &milp.Options{TimeLimit: s.opts.SolveLimit, Workers: s.opts.SolveWorkers},
+	}
+
+	names := make([]string, len(gw.Graph.Tasks))
+	for t, task := range gw.Graph.Tasks {
+		names[t] = task.Name
+	}
+	gresp := &GraphResponse{
+		Name:       gs.Name,
+		Cores:      gw.Cores,
+		Tasks:      names,
+		DeadlineUS: gw.DeadlineUS,
+	}
+	resp := &Response{
+		Levels:     req.Levels,
+		DeadlineUS: gw.DeadlineUS,
+		Graph:      gresp,
+	}
+
+	res, err := s.cfg.OptimizeGraphCtx(ctx, gw, opts)
+	if errors.Is(err, core.ErrInfeasible) {
+		resp.Infeasible = true
+		return resp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	gresp.Degenerate = res.Degenerate
+	gresp.Placement = res.Schedule.Placement
+	gresp.Order = res.Schedule.Order
+	gresp.PredictedEnergyUJ = res.PredictedEnergyUJ
+	gresp.PredictedMakespanUS = res.PredictedMakespanUS
+	modes := make([]string, len(res.Schedule.Placement))
+	for t, pl := range res.Schedule.Placement {
+		modes[t] = res.Schedule.Modes.Mode(pl.Mode).String()
+	}
+	gresp.Modes = modes
+	resp.Solver = &SolverStats{
+		Status:        res.Solver.Status.String(),
+		Nodes:         res.Solver.Nodes,
+		LPIters:       res.Solver.LPIters,
+		SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
+		WarmSolves:    res.Solver.WarmSolves,
+		ColdSolves:    res.Solver.ColdSolves,
+		WarmFallbacks: res.Solver.WarmFallbacks,
+		LPPivots:      res.Solver.LPPivots,
+		ObjectiveUJ:   res.Solver.Objective,
+	}
+
+	if !req.SkipMeasure {
+		static, err := s.cfg.SimulateGraphCtx(ctx, gw, res.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		gresp.Static = graphMeasured(static, gw.DeadlineUS)
+		// The governor runs over coarse task-grained schedules; the degenerate
+		// path's intra-task schedule is already slack-optimal per the MILP.
+		if !res.Degenerate {
+			governed, _, _, err := s.cfg.ReclaimGraph(gw, res.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			grun, err := s.cfg.SimulateGraphCtx(ctx, gw, governed)
+			if err != nil {
+				return nil, err
+			}
+			gresp.Governed = graphMeasured(grun, gw.DeadlineUS)
+		}
+	}
+	return resp, nil
+}
+
+func graphMeasured(run exp.GraphRunSummary, deadlineUS float64) *GraphMeasured {
+	meets := run.MissedDeadlines == 0 && run.MakespanUS <= deadlineUS*(1+1e-9)
+	return &GraphMeasured{Run: run, MeetsDeadline: meets, SlackUS: deadlineUS - run.MakespanUS}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ctdvs/internal/ir"
+)
+
+// This file implements the runtime counterpart of the compile-time task-graph
+// schedule: a slack-reclaiming governor in the style of Aupy et al.
+// ("Reclaiming the energy of a schedule"). The static schedule fixes
+// placement, per-core order and per-task modes; at run time, tasks that start
+// earlier than the static timeline predicted (because a predecessor finished
+// early, or the static schedule was conservative) hand their slack to the
+// governor, which re-executes the dispatch loop and slows each task down as
+// far as the slack allows — without ever letting any task finish later than
+// its static finish time, so precedence and every deadline the static
+// schedule met remain met by construction.
+
+// ReclaimInput bundles what the governor needs: the graph, the static
+// schedule (fixed-mode tasks only), and per-task per-mode duration/energy
+// tables. The tables come from profiles, which are bit-identical to
+// fixed-mode simulation, so the governor's arithmetic is exact, not an
+// estimate.
+type ReclaimInput struct {
+	Graph    *ir.TaskGraph
+	Static   *GraphSchedule
+	DurUS    [][]float64 // [task][mode] fixed-mode execution time
+	EnergyUJ [][]float64 // [task][mode] fixed-mode energy
+}
+
+// Reclaim runs the governor over the static schedule and returns the governed
+// schedule (same placement and order, possibly slower modes) plus the planned
+// results of both. Two invariants hold by construction:
+//
+//   - every task's governed finish time is ≤ its static finish time (each
+//     candidate mode is admitted only if it fits, with a reserve covering the
+//     worst extra transition it could impose on the core's next task, and the
+//     static mode always fits);
+//   - the governed schedule's total energy is ≤ the static schedule's: the
+//     governor compares the two assembled plans and falls back to the static
+//     schedule wholesale if reclamation did not pay (transitions can eat the
+//     per-task wins on adversarial mode ladders).
+func Reclaim(in ReclaimInput) (governed *GraphSchedule, governedPlan, staticPlan *GraphResult, err error) {
+	g, s := in.Graph, in.Static
+	if err := g.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := s.Validate(g); err != nil {
+		return nil, nil, nil, err
+	}
+	n := len(g.Tasks)
+	for t := 0; t < n; t++ {
+		if s.intra(t) != nil {
+			return nil, nil, nil, fmt.Errorf("sim: reclaim needs fixed-mode tasks, task %d has an intra-task schedule", t)
+		}
+	}
+	nm := s.Modes.Len()
+	if len(in.DurUS) != n || len(in.EnergyUJ) != n {
+		return nil, nil, nil, fmt.Errorf("sim: reclaim tables cover %d/%d tasks, graph has %d", len(in.DurUS), len(in.EnergyUJ), n)
+	}
+	for t := 0; t < n; t++ {
+		if len(in.DurUS[t]) != nm || len(in.EnergyUJ[t]) != nm {
+			return nil, nil, nil, fmt.Errorf("sim: reclaim tables for task %d cover %d modes, want %d", t, len(in.DurUS[t]), nm)
+		}
+	}
+
+	staticDur := make([]float64, n)
+	staticEnergy := make([]float64, n)
+	for t := 0; t < n; t++ {
+		m := s.Placement[t].Mode
+		staticDur[t] = in.DurUS[t][m]
+		staticEnergy[t] = in.EnergyUJ[t][m]
+	}
+	staticPlan, err = PlanGraph(g, s, staticDur, staticEnergy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Governed dispatch: the same deterministic loop as PlanGraph, but each
+	// task's mode is chosen when it is dispatched. A mode m is admissible if
+	//
+	//	start + transition(cur, m) + dur[t][m] + CT·|V(m) − V(static)| ≤ staticFinish[t]
+	//
+	// The CT reserve pays, in advance, for the worst-case extra transition
+	// the deviation from the static mode can impose on the next task of this
+	// core; with it, an induction over the dispatch order shows the static
+	// mode is always admissible and every governed finish stays ≤ static.
+	// Among admissible modes, the governor picks the lowest task+transition
+	// energy (ties to the slower mode).
+	ct := s.Regulator.CT()
+	preds := g.Preds()
+	mode := make([]int, n)
+	finish := make([]float64, n)
+	done := make([]bool, n)
+	next := make([]int, s.Cores)
+	curMode := make([]int, s.Cores)
+	first := make([]bool, s.Cores)
+	coreBusy := make([]float64, s.Cores)
+	for c := range first {
+		first[c] = true
+	}
+	remaining := n
+	for remaining > 0 {
+		progressed := false
+		for c := 0; c < s.Cores; c++ {
+			for next[c] < len(s.Order[c]) {
+				t := s.Order[c][next[c]]
+				ready := true
+				avail := g.Tasks[t].ReleaseUS
+				for _, p := range preds[t] {
+					if !done[p] {
+						ready = false
+						break
+					}
+					if finish[p] > avail {
+						avail = finish[p]
+					}
+				}
+				if !ready {
+					break
+				}
+				if coreBusy[c] > avail {
+					avail = coreBusy[c]
+				}
+				sm := s.Placement[t].Mode
+				vStatic := s.Modes.Mode(sm).V
+				best, bestCost := -1, math.Inf(1)
+				for m := 0; m < nm; m++ {
+					var transT, transE float64
+					if !first[c] && curMode[c] != m {
+						vi := s.Modes.Mode(curMode[c]).V
+						vj := s.Modes.Mode(m).V
+						transT = s.Regulator.TransitionTime(vi, vj)
+						transE = s.Regulator.TransitionEnergy(vi, vj)
+					}
+					reserve := ct * math.Abs(s.Modes.Mode(m).V-vStatic)
+					if avail+transT+in.DurUS[t][m]+reserve > staticPlan.Runs[t].FinishUS {
+						continue
+					}
+					if cost := in.EnergyUJ[t][m] + transE; cost < bestCost {
+						best, bestCost = m, cost
+					}
+				}
+				if best < 0 {
+					// Floating-point edge: fall back to the static mode.
+					best = sm
+				}
+				mode[t] = best
+				var transT float64
+				if !first[c] && curMode[c] != best {
+					transT = s.Regulator.TransitionTime(s.Modes.Mode(curMode[c]).V, s.Modes.Mode(best).V)
+				}
+				finish[t] = avail + transT + in.DurUS[t][best]
+				coreBusy[c] = finish[t]
+				curMode[c] = best
+				first[c] = false
+				done[t] = true
+				next[c]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, nil, nil, fmt.Errorf("sim: task graph %q deadlocked during reclaim", g.Name)
+		}
+	}
+
+	governed = &GraphSchedule{
+		Modes:     s.Modes,
+		Regulator: s.Regulator,
+		Cores:     s.Cores,
+		Placement: make([]TaskPlacement, n),
+		Order:     s.Order,
+	}
+	govDur := make([]float64, n)
+	govEnergy := make([]float64, n)
+	for t := 0; t < n; t++ {
+		governed.Placement[t] = TaskPlacement{Core: s.Placement[t].Core, Mode: mode[t]}
+		govDur[t] = in.DurUS[t][mode[t]]
+		govEnergy[t] = in.EnergyUJ[t][mode[t]]
+	}
+	governedPlan, err = PlanGraph(g, governed, govDur, govEnergy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// The energy guarantee, made unconditional: if reclamation did not pay,
+	// the governor keeps the static schedule.
+	if governedPlan.EnergyUJ > staticPlan.EnergyUJ {
+		return s, staticPlan, staticPlan, nil
+	}
+	return governed, governedPlan, staticPlan, nil
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ctdvs/internal/ir"
+)
+
+// This file extends the benchmark suite from single programs to task graphs:
+// DAGs of the suite's benchmarks with precedence edges, a core count, and a
+// deadline position, the multi-core counterpart of Spec. The families mirror
+// the shapes embedded applications actually exhibit — fork-join pipelines
+// (decode → parallel filters → merge), straight-line chains (a software
+// radio), and MPI-style mixes with uneven stage weights.
+
+// TaskRef names one task of a graph: which benchmark it runs (by suite name),
+// which of its inputs, and optional release/per-task deadline offsets.
+type TaskRef struct {
+	Bench string
+	// Input selects Spec.Inputs[Input] (0 = default).
+	Input int
+	// ReleaseUS and DeadlineUS carry over to ir.Task verbatim (0 = none).
+	ReleaseUS  float64
+	DeadlineUS float64
+}
+
+// GraphSpec bundles a task-graph workload: the DAG of benchmark tasks, the
+// core count it targets, and the graph deadline as a fraction of the
+// [fastest, slowest] placed-makespan span (the multi-core analogue of
+// Spec.DeadlineFracs).
+type GraphSpec struct {
+	Name  string
+	Cores int
+	Tasks []TaskRef
+	Edges [][2]int
+	// DeadlineFrac positions the graph deadline in the span between the
+	// all-fastest and all-slowest placed makespans, like Spec.DeadlineFracs
+	// positions single-program deadlines.
+	DeadlineFrac float64
+}
+
+// Deadline materializes the graph deadline (µs) from the measured all-fastest
+// and all-slowest placed makespans.
+func (gs *GraphSpec) Deadline(fastUS, slowUS float64) float64 {
+	return fastUS + gs.DeadlineFrac*(slowUS-fastUS)
+}
+
+// Build resolves the benchmark references against the suite at the given
+// scale and returns the executable task graph. Task names are
+// "bench#index" so repeated benchmarks stay distinct.
+func (gs *GraphSpec) Build(scale float64) (*ir.TaskGraph, error) {
+	byName := make(map[string]*Spec)
+	for _, s := range All(scale) {
+		byName[s.Name] = s
+	}
+	return gs.BuildFrom(func(name string) (*Spec, error) {
+		s, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+		}
+		return s, nil
+	})
+}
+
+// BuildFrom is Build with a caller-supplied benchmark resolver, so callers
+// that cache specs (package exp) can build graphs whose task programs are
+// pointer-identical to the cached specs' programs.
+func (gs *GraphSpec) BuildFrom(lookup func(name string) (*Spec, error)) (*ir.TaskGraph, error) {
+	g := &ir.TaskGraph{Name: gs.Name, Edges: gs.Edges}
+	for i, ref := range gs.Tasks {
+		s, err := lookup(ref.Bench)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: graph %q task %d: %w", gs.Name, i, err)
+		}
+		if ref.Input < 0 || ref.Input >= len(s.Inputs) {
+			return nil, fmt.Errorf("workloads: graph %q task %d selects input %d of %d", gs.Name, i, ref.Input, len(s.Inputs))
+		}
+		g.Tasks = append(g.Tasks, &ir.Task{
+			Name:       fmt.Sprintf("%s#%d", ref.Bench, i),
+			Program:    s.Program,
+			Input:      s.Inputs[ref.Input],
+			ReleaseUS:  ref.ReleaseUS,
+			DeadlineUS: ref.DeadlineUS,
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("workloads: graph %q: %w", gs.Name, err)
+	}
+	return g, nil
+}
+
+// ForkJoin is a media pipeline: one decode task fans out into width parallel
+// filter tasks which join into an encode task. Filters alternate between a
+// compute-heavy and a memory-heavy benchmark so the per-core mode choices
+// differ.
+func ForkJoin(width, cores int) *GraphSpec {
+	if width < 1 {
+		width = 1
+	}
+	gs := &GraphSpec{
+		Name:         fmt.Sprintf("fork-join-%dw", width),
+		Cores:        cores,
+		DeadlineFrac: 0.45,
+	}
+	gs.Tasks = append(gs.Tasks, TaskRef{Bench: "mpeg/decode"})
+	for i := 0; i < width; i++ {
+		bench := "adpcm/encode"
+		if i%2 == 1 {
+			bench = "mpg123"
+		}
+		gs.Tasks = append(gs.Tasks, TaskRef{Bench: bench})
+		mid := len(gs.Tasks) - 1
+		gs.Edges = append(gs.Edges, [2]int{0, mid})
+	}
+	gs.Tasks = append(gs.Tasks, TaskRef{Bench: "gsm/encode"})
+	sink := len(gs.Tasks) - 1
+	for i := 0; i < width; i++ {
+		gs.Edges = append(gs.Edges, [2]int{1 + i, sink})
+	}
+	return gs
+}
+
+// Chain is a straight-line pipeline of length n alternating compute- and
+// memory-bound stages; on one core it degenerates to serial composition, so
+// it exercises the same-core transition accounting.
+func Chain(n, cores int) *GraphSpec {
+	if n < 2 {
+		n = 2
+	}
+	gs := &GraphSpec{
+		Name:         fmt.Sprintf("chain-%d", n),
+		Cores:        cores,
+		DeadlineFrac: 0.5,
+	}
+	rotation := []string{"adpcm/encode", "epic", "gsm/encode"}
+	for i := 0; i < n; i++ {
+		gs.Tasks = append(gs.Tasks, TaskRef{Bench: rotation[i%len(rotation)]})
+		if i > 0 {
+			gs.Edges = append(gs.Edges, [2]int{i - 1, i})
+		}
+	}
+	return gs
+}
+
+// MPIMix is an MPI-style mix: two unequal-length parallel branches between a
+// scatter and a gather task. The imbalance creates the idle slack the online
+// governor reclaims.
+func MPIMix(cores int) *GraphSpec {
+	return &GraphSpec{
+		Name:         "mpi-mix",
+		Cores:        cores,
+		DeadlineFrac: 0.4,
+		Tasks: []TaskRef{
+			{Bench: "adpcm/encode"}, // 0: scatter
+			{Bench: "ghostscript"},  // 1: long branch
+			{Bench: "gsm/encode"},   // 2: short branch, stage 1
+			{Bench: "mpg123"},       // 3: short branch, stage 2
+			{Bench: "epic"},         // 4: gather
+		},
+		Edges: [][2]int{{0, 1}, {0, 2}, {2, 3}, {1, 4}, {3, 4}},
+	}
+}
+
+// Graphs returns the task-graph corpus, the multi-core analogue of All.
+func Graphs() []*GraphSpec {
+	return []*GraphSpec{
+		ForkJoin(2, 2),
+		ForkJoin(4, 4),
+		Chain(4, 1),
+		Chain(5, 2),
+		MPIMix(2),
+	}
+}
+
+// Graph looks up a corpus graph by name; ok is false if the name is unknown.
+func Graph(name string) (*GraphSpec, bool) {
+	for _, gs := range Graphs() {
+		if gs.Name == name {
+			return gs, true
+		}
+	}
+	return nil, false
+}

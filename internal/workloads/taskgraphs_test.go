@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphsBuildAndValidate(t *testing.T) {
+	t.Parallel()
+	for _, gs := range Graphs() {
+		gs := gs
+		t.Run(gs.Name, func(t *testing.T) {
+			t.Parallel()
+			if gs.Cores < 1 {
+				t.Fatalf("graph %q targets %d cores", gs.Name, gs.Cores)
+			}
+			if gs.DeadlineFrac <= 0 || gs.DeadlineFrac >= 1 {
+				t.Fatalf("graph %q deadline fraction %v outside (0,1)", gs.Name, gs.DeadlineFrac)
+			}
+			g, err := gs.Build(0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(g.Tasks) != len(gs.Tasks) {
+				t.Fatalf("built %d tasks from %d refs", len(g.Tasks), len(gs.Tasks))
+			}
+			if _, err := g.TopoOrder(); err != nil {
+				t.Fatal(err)
+			}
+			seen := map[string]bool{}
+			for _, task := range g.Tasks {
+				if seen[task.Name] {
+					t.Fatalf("duplicate task name %q", task.Name)
+				}
+				seen[task.Name] = true
+			}
+		})
+	}
+}
+
+func TestGraphLookup(t *testing.T) {
+	t.Parallel()
+	for _, gs := range Graphs() {
+		got, ok := Graph(gs.Name)
+		if !ok || got.Name != gs.Name {
+			t.Errorf("Graph(%q) = %v, %v", gs.Name, got, ok)
+		}
+	}
+	if _, ok := Graph("no-such-graph"); ok {
+		t.Error("unknown graph name resolved")
+	}
+}
+
+func TestGraphSpecBuildErrors(t *testing.T) {
+	t.Parallel()
+	bad := &GraphSpec{Name: "bad", Cores: 1, Tasks: []TaskRef{{Bench: "nope"}}}
+	if _, err := bad.Build(0.02); err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Errorf("unknown benchmark accepted: %v", err)
+	}
+	badInput := &GraphSpec{Name: "bad-in", Cores: 1, Tasks: []TaskRef{{Bench: "epic", Input: 9}}}
+	if _, err := badInput.Build(0.02); err == nil || !strings.Contains(err.Error(), "input") {
+		t.Errorf("out-of-range input accepted: %v", err)
+	}
+	cyclic := &GraphSpec{
+		Name:  "cyclic",
+		Cores: 1,
+		Tasks: []TaskRef{{Bench: "epic"}, {Bench: "mpg123"}},
+		Edges: [][2]int{{0, 1}, {1, 0}},
+	}
+	if _, err := cyclic.Build(0.02); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestGraphDeadlineInterpolates(t *testing.T) {
+	t.Parallel()
+	gs := &GraphSpec{DeadlineFrac: 0.25}
+	if got := gs.Deadline(100, 300); got != 150 {
+		t.Errorf("Deadline(100, 300) = %v, want 150", got)
+	}
+}
