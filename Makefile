@@ -19,16 +19,18 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# The solver/pipeline/profiling/simulator/server benchmarks that rewrite
+# The solver/pipeline/profiling/simulator/server/store benchmarks that rewrite
 # BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json, BENCH_sim.json,
-# BENCH_serve.json and BENCH_taskgraph.json: serial MILP (warm vs cold inline),
-# parallel MILP, the artifact-store replay, recorded-vs-per-mode profile
-# collection, the compiled simulator kernel vs the reference interpreter, the
-# optimization server under concurrent load (cold store vs warm), and the
-# multi-core task-graph solve with serial-vs-parallel schedule execution.
+# BENCH_serve.json, BENCH_taskgraph.json and BENCH_store.json: serial MILP
+# (warm vs cold inline), parallel MILP, the artifact-store replay,
+# recorded-vs-per-mode profile collection, the compiled simulator kernel vs
+# the reference interpreter, the optimization server under concurrent load
+# (cold store vs warm), the multi-core task-graph solve with
+# serial-vs-parallel schedule execution, and the sharded-store scenario
+# matrix (binary vs JSON warm reads, pooled replay allocations).
 # bench-all runs everything.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput|BenchmarkTaskGraphSolve)$$' -benchmem .
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput|BenchmarkTaskGraphSolve|BenchmarkStoreScenarioMatrix)$$' -benchmem .
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,17 +41,20 @@ bench-all:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime=10s ./internal/schedfile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecording$$' -fuzztime=10s ./internal/schedfile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecordingBinary$$' -fuzztime=10s ./internal/schedfile
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadGraphSpec$$' -fuzztime=10s ./internal/schedfile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=10s ./internal/profile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime=10s ./internal/serve
 
 # The PR gate: vet, full build, the whole test suite, the race detector over
-# the packages with real concurrency (pipeline singleflight, experiment
+# the packages with real concurrency (pipeline singleflight and concurrent
+# store Puts over the shard-directory cache and buffer pools, experiment
 # fan-out including the multi-core machine pool, parallel branch-and-bound,
 # concurrent replay of shared recordings, the multi-core scheduler-simulator
 # and HEFT placement, and the optimization server's flight table and worker
-# pool), and the perf-record gate (no committed BENCH_*.json may claim a
-# speedup below 1.0).
+# pool), and the perf-record gate: no committed BENCH_*.json may claim a
+# speedup below its floor (1.0 by default) or allocations above a committed
+# allocs_ceiling — see internal/tools/benchcheck for the schema.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...

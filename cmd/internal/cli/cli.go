@@ -28,11 +28,12 @@ type App struct {
 	// Scale is the workload scale factor; registered by ScaleFlag, 1.0
 	// otherwise.
 	Scale float64
-	// CacheDir, NoCache and Manifest are the cache flags every command
-	// registers.
-	CacheDir string
-	NoCache  bool
-	Manifest string
+	// CacheDir, CacheCodec, NoCache and Manifest are the cache flags every
+	// command registers.
+	CacheDir   string
+	CacheCodec string
+	NoCache    bool
+	Manifest   string
 
 	// PerModeProfile disables the record-once/replay-per-mode profiling path
 	// and simulates every mode of every profile instead. The numbers are
@@ -65,6 +66,8 @@ func New(name string) *App {
 	a := &App{Name: name, Scale: 1.0}
 	flag.StringVar(&a.CacheDir, "cache-dir", "",
 		"artifact cache directory: repeated runs with the same configuration skip profiling and MILP solves (empty = in-memory only)")
+	flag.StringVar(&a.CacheCodec, "cache-codec", "binary",
+		"encoding for newly written artifacts, binary or json; either store reads both, so switching never invalidates a cache")
 	flag.BoolVar(&a.NoCache, "no-cache", false,
 		"ignore -cache-dir and recompute everything (artifacts stay in memory for this run)")
 	flag.StringVar(&a.Manifest, "manifest", "",
@@ -114,7 +117,11 @@ func (a *App) Runner() *pipeline.Runner {
 	if a.runner == nil {
 		var store *pipeline.Store
 		if a.CacheDir != "" && !a.NoCache {
-			s, err := pipeline.Open(a.CacheDir)
+			format, err := pipeline.ParseFormat(a.CacheCodec)
+			if err != nil {
+				a.Die(err)
+			}
+			s, err := pipeline.OpenWithFormat(a.CacheDir, format)
 			if err != nil {
 				a.Die(err)
 			}

@@ -121,8 +121,12 @@ func TestPipelineOnRandomPrograms(t *testing.T) {
 			t.Fatal(err)
 		}
 		tracer.Finish()
+		tracedEdges, _, err := traced.CountMaps(spec.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
 		back := int64(0)
-		for e, c := range traced.EdgeCounts {
+		for e, c := range tracedEdges {
 			if e.From != cfg.Entry && numbering.IsBackEdge(e) {
 				back += c
 			}

@@ -189,6 +189,10 @@ func (c *Config) ProfileCtx(ctx context.Context, bench string, input int, levels
 		Decode: func(data []byte) (*profile.Profile, error) {
 			return profile.Decode(data, spec.Program, spec.Inputs[input], ms)
 		},
+		EncodeBinary: profile.EncodeBinary,
+		DecodeBinary: func(data []byte) (*profile.Profile, error) {
+			return profile.DecodeBinary(data, spec.Program, spec.Inputs[input], ms)
+		},
 	}
 	return pipeline.RunCtx(ctx, c.runner(), st, c.profileKey(bench, input, levels), func(ctx context.Context) (*profile.Profile, error) {
 		if !c.DisableRecording {
@@ -217,6 +221,10 @@ func (c *Config) recording(ctx context.Context, spec *workloads.Spec, bench stri
 		Encode: schedfile.EncodeRecording,
 		Decode: func(data []byte) (*sim.Recording, error) {
 			return schedfile.DecodeRecording(data, spec.Program, spec.Inputs[input], c.Machine.Config())
+		},
+		EncodeBinary: schedfile.EncodeRecordingBinary,
+		DecodeBinary: func(data []byte) (*sim.Recording, error) {
+			return schedfile.DecodeRecordingBinary(data, spec.Program, spec.Inputs[input], c.Machine.Config())
 		},
 	}
 	return pipeline.RunCtx(ctx, c.runner(), st, c.recordKey(bench, input), func(context.Context) (*sim.Recording, error) {

@@ -172,6 +172,8 @@ var graphSolveStage = pipeline.Stage[*graphSolveArtifact]{
 		}
 		return &a, nil
 	},
+	EncodeBinary: encodeGraphSolveBinary,
+	DecodeBinary: decodeGraphSolveBinary,
 }
 
 // toGraphResult rebuilds the optimizer result from an artifact, recomputing

@@ -97,6 +97,8 @@ var solveStage = pipeline.Stage[*solveArtifact]{
 		}
 		return &a, nil
 	},
+	EncodeBinary: encodeSolveBinary,
+	DecodeBinary: decodeSolveBinary,
 }
 
 // toResult rebuilds the optimizer result from an artifact. Cold runs pass

@@ -13,10 +13,24 @@ import (
 // encode(decode(encode(x))) == encode(x) — so content fingerprints are stable
 // across processes; every codec in this repository uses struct-ordered JSON,
 // which satisfies this.
+//
+// Stages whose artifacts are large (recordings, profiles, solve results) may
+// additionally provide a binary codec. When the store prefers binary
+// (the default), such artifacts are written length-prefixed binary instead
+// of JSON; the JSON codec remains the versioned fallback, and the runner
+// reads both formats. EncodeBinary/DecodeBinary must round-trip to values
+// identical to the JSON codec's — asserted by parity property tests.
+//
+// Decode and DecodeBinary are handed buffers the runner may reuse for the
+// next read: they must not retain or alias their input past the call.
 type Stage[T any] struct {
 	Kind   Kind
 	Encode func(T) ([]byte, error)
 	Decode func([]byte) (T, error)
+
+	// EncodeBinary/DecodeBinary, when non-nil, are the stage's binary codec.
+	EncodeBinary func(T) ([]byte, error)
+	DecodeBinary func([]byte) (T, error)
 }
 
 // slot is the in-memory singleflight cell for one (kind, key): concurrent
@@ -184,15 +198,12 @@ func slotValue[T any](s *slot, st Stage[T], key Key) (T, error) {
 func resolve[T any](ctx context.Context, r *Runner, st Stage[T], key Key, compute func(context.Context) (T, error)) (T, error) {
 	var artifact string
 	if r.store != nil {
-		artifact = r.store.Path(st.Kind, key)
-		if data, ok, err := r.store.Get(st.Kind, key); err == nil && ok {
-			if v, derr := st.Decode(data); derr == nil {
-				r.man.addDiskHit(st.Kind, key, artifact)
-				return v, nil
-			}
-			// A corrupt or stale-format artifact falls through to a
-			// recompute, which overwrites it.
+		if v, path, ok := loadArtifact(r, st, key); ok {
+			r.man.addDiskHit(st.Kind, key, path)
+			return v, nil
 		}
+		// No artifact, or every stored encoding was corrupt/stale: fall
+		// through to a recompute, which overwrites it.
 	}
 
 	// Stage boundary: a request cancelled while queued behind the store
@@ -211,16 +222,56 @@ func resolve[T any](ctx context.Context, r *Runner, st Stage[T], key Key, comput
 		return zero, err
 	}
 	if r.store != nil {
-		if data, eerr := st.Encode(v); eerr == nil {
-			if perr := r.store.Put(st.Kind, key, data); perr != nil {
+		format, encode := FormatJSON, st.Encode
+		if r.store.write == FormatBinary && st.EncodeBinary != nil {
+			format, encode = FormatBinary, st.EncodeBinary
+		}
+		if data, eerr := encode(v); eerr == nil {
+			artifact = r.store.Path(st.Kind, key, format)
+			if perr := r.store.Put(st.Kind, key, data, format); perr != nil {
 				artifact = "" // computed fine, persisting failed; stay usable
 			}
-		} else {
-			artifact = ""
 		}
 	}
 	r.man.addMiss(st.Kind, key, ms, artifact, r.store != nil)
 	return v, nil
+}
+
+// loadArtifact reads and decodes the stored artifact for (stage, key) through
+// a pooled buffer, trying the preferred stored format first. A binary
+// artifact that fails to decode (truncated, corrupt, wrong tag, or the stage
+// has no binary codec) falls back to the JSON artifact when one exists;
+// when everything fails the caller treats the key as a miss and recomputes —
+// a damaged cache entry can cost work, never correctness.
+func loadArtifact[T any](r *Runner, st Stage[T], key Key) (v T, path string, ok bool) {
+	buf := r.store.acquireBuf()
+	defer func() { r.store.releaseBuf(buf) }()
+	data, format, found, err := r.store.getAppend(buf, st.Kind, key)
+	buf = data // keep whatever capacity the read grew
+	if err != nil || !found {
+		return v, "", false
+	}
+	if format == FormatBinary {
+		if st.DecodeBinary != nil {
+			if dv, derr := st.DecodeBinary(data); derr == nil {
+				return dv, r.store.Path(st.Kind, key, FormatBinary), true
+			}
+		}
+		jpath := r.store.Path(st.Kind, key, FormatJSON)
+		jdata, jfound, jerr := readAppend(buf, jpath)
+		buf = jdata
+		if jerr != nil || !jfound {
+			return v, "", false
+		}
+		data, format = jdata, FormatJSON
+		path = jpath
+	} else {
+		path = r.store.Path(st.Kind, key, FormatJSON)
+	}
+	if dv, derr := st.Decode(data); derr == nil {
+		return dv, path, true
+	}
+	return v, "", false
 }
 
 // Observe times an uncached stage (filter, formulate) and records it in the

@@ -38,20 +38,20 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := testKey("a")
-	if _, ok, err := s.Get(StageProfile, key); err != nil || ok {
+	if _, _, ok, err := s.Get(StageProfile, key); err != nil || ok {
 		t.Fatalf("empty store returned ok=%v err=%v", ok, err)
 	}
-	if err := s.Put(StageProfile, key, []byte("hello")); err != nil {
+	if err := s.Put(StageProfile, key, []byte("hello"), FormatJSON); err != nil {
 		t.Fatal(err)
 	}
-	data, ok, err := s.Get(StageProfile, key)
-	if err != nil || !ok || string(data) != "hello" {
-		t.Fatalf("get = %q ok=%v err=%v", data, ok, err)
+	data, format, ok, err := s.Get(StageProfile, key)
+	if err != nil || !ok || format != FormatJSON || string(data) != "hello" {
+		t.Fatalf("get = %q format=%v ok=%v err=%v", data, format, ok, err)
 	}
 	// Sharded layout: kind/key[:2]/key.json.
 	want := filepath.Join(s.Dir(), "profile", string(key[:2]), string(key)+".json")
-	if s.Path(StageProfile, key) != want {
-		t.Errorf("path = %q, want %q", s.Path(StageProfile, key), want)
+	if s.Path(StageProfile, key, FormatJSON) != want {
+		t.Errorf("path = %q, want %q", s.Path(StageProfile, key, FormatJSON), want)
 	}
 	if _, err := os.Stat(want); err != nil {
 		t.Errorf("artifact file missing: %v", err)
@@ -64,10 +64,10 @@ func TestStoreRejectsBadKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, bad := range []Key{"", "short", Key(strings.Repeat("../", 22) + "aa")} {
-		if err := s.Put(StageProfile, bad, []byte("x")); err == nil {
+		if err := s.Put(StageProfile, bad, []byte("x"), FormatJSON); err == nil {
 			t.Errorf("Put accepted key %q", bad)
 		}
-		if _, _, err := s.Get(StageProfile, bad); err == nil {
+		if _, _, _, err := s.Get(StageProfile, bad); err == nil {
 			t.Errorf("Get accepted key %q", bad)
 		}
 	}
@@ -173,7 +173,7 @@ func TestRunnerCorruptArtifactRecomputes(t *testing.T) {
 	}
 	st := intStage(StageProfile)
 	key := testKey("corrupt")
-	if err := store.Put(StageProfile, key, []byte("not json")); err != nil {
+	if err := store.Put(StageProfile, key, []byte("not json"), FormatJSON); err != nil {
 		t.Fatal(err)
 	}
 	r := NewRunner(store)
@@ -182,7 +182,7 @@ func TestRunnerCorruptArtifactRecomputes(t *testing.T) {
 		t.Fatalf("v=%d err=%v", v, err)
 	}
 	// The recompute must overwrite the corrupt artifact.
-	data, ok, err := store.Get(StageProfile, key)
+	data, _, ok, err := store.Get(StageProfile, key)
 	if err != nil || !ok || string(data) != "5" {
 		t.Fatalf("artifact after recompute = %q ok=%v err=%v", data, ok, err)
 	}

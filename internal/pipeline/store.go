@@ -2,66 +2,227 @@ package pipeline
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
+
+// Format identifies the on-disk encoding of one artifact file.
+type Format uint8
+
+const (
+	// FormatJSON is the original artifact encoding (<key>.json) — the
+	// versioned fallback every stage keeps. Stores always read it.
+	FormatJSON Format = iota
+	// FormatBinary is the length-prefixed binary encoding (<key>.bin) used
+	// for the large artifact kinds when the stage provides a binary codec.
+	FormatBinary
+)
+
+// String returns the codec name as spelled by the -cache-codec flag.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// ext returns the artifact file extension for the format.
+func (f Format) ext() string {
+	if f == FormatBinary {
+		return ".bin"
+	}
+	return ".json"
+}
+
+// ParseFormat parses a -cache-codec flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "binary":
+		return FormatBinary, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatJSON, fmt.Errorf("pipeline: unknown cache codec %q (want binary or json)", s)
+}
 
 // Store is a content-addressed on-disk artifact store. Artifacts live under
 //
-//	<dir>/<kind>/<key[:2]>/<key>.json
+//	<dir>/<kind>/<key[:2]>/<key>.bin        (binary, preferred for large kinds)
+//	<dir>/<kind>/<key[:2]>/<key>.json       (JSON, the versioned fallback)
 //
 // sharded by the first key byte so directories stay small at production
 // scale. Writes are atomic (temp file + rename), so concurrent processes
 // sharing a cache directory never observe torn artifacts; a lost race simply
 // rewrites identical bytes.
+//
+// The store is allocation-lean on the warm path: shard directories are
+// created once and remembered (every later Put is one write + one rename,
+// no MkdirAll), and reads can go through pooled buffers (getAppend) so a
+// steady-state artifact load allocates nothing beyond what the decoder
+// keeps. A Store is safe for concurrent use.
 type Store struct {
-	dir string
+	dir   string
+	write Format // preferred write format for stages with a binary codec
+
+	// dirs remembers shard directories already created by this process, so
+	// Put calls os.MkdirAll once per (kind, key[:2]) instead of once per
+	// write. Keys are relative "kind/shard" strings.
+	dirs sync.Map
+
+	// bufs pools read buffers for getAppend. Entries are *[]byte so Put/Get
+	// of the pool itself does not allocate.
+	bufs sync.Pool
 }
 
-// Open creates (if needed) and returns the store rooted at dir.
+// Open creates (if needed) and returns the store rooted at dir, writing
+// binary artifacts for stages that support them.
 func Open(dir string) (*Store, error) {
+	return OpenWithFormat(dir, FormatBinary)
+}
+
+// OpenWithFormat is Open with an explicit preferred write format. A
+// FormatJSON store still reads binary artifacts written earlier (and vice
+// versa); the format only selects what new artifacts are written as.
+func OpenWithFormat(dir string, write Format) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("pipeline: empty store directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pipeline: open store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, write: write}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Path returns the artifact path for (kind, key) without touching the disk.
-func (s *Store) Path(kind Kind, key Key) string {
-	return filepath.Join(s.dir, string(kind), string(key[:2]), string(key)+".json")
+// WriteFormat returns the store's preferred write format.
+func (s *Store) WriteFormat() Format { return s.write }
+
+// Path returns the artifact path for (kind, key) in the given format without
+// touching the disk.
+func (s *Store) Path(kind Kind, key Key, f Format) string {
+	return filepath.Join(s.dir, string(kind), string(key[:2]), string(key)+f.ext())
 }
 
-// Get returns the artifact bytes and whether they were present.
-func (s *Store) Get(kind Kind, key Key) ([]byte, bool, error) {
+// Get returns the artifact bytes, the format they were stored in, and
+// whether they were present. Binary artifacts are preferred when both
+// formats exist. The returned slice is freshly allocated and owned by the
+// caller; the runner's hot path uses getAppend with pooled buffers instead.
+func (s *Store) Get(kind Kind, key Key) ([]byte, Format, bool, error) {
 	if err := key.Validate(); err != nil {
-		return nil, false, err
+		return nil, FormatJSON, false, err
 	}
-	data, err := os.ReadFile(s.Path(kind, key))
+	for _, f := range [...]Format{FormatBinary, FormatJSON} {
+		data, err := os.ReadFile(s.Path(kind, key, f))
+		if err == nil {
+			return data, f, true, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, f, false, fmt.Errorf("pipeline: get %s/%s: %w", kind, key, err)
+		}
+	}
+	return nil, FormatJSON, false, nil
+}
+
+// acquireBuf returns a pooled read buffer (length 0, whatever capacity it
+// grew to); pair with releaseBuf once the decoded value no longer references
+// it. Decoders must copy what they keep — see Stage.
+func (s *Store) acquireBuf() []byte {
+	if p, ok := s.bufs.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 64<<10)
+}
+
+func (s *Store) releaseBuf(buf []byte) {
+	buf = buf[:0]
+	s.bufs.Put(&buf)
+}
+
+// getAppend reads the artifact into buf (growing it as needed) and returns
+// the filled slice, its format, and whether it was present. One file-handle
+// allocation aside, a warm read whose buffer has already grown allocates
+// nothing.
+func (s *Store) getAppend(buf []byte, kind Kind, key Key) ([]byte, Format, bool, error) {
+	if err := key.Validate(); err != nil {
+		return buf, FormatJSON, false, err
+	}
+	for _, f := range [...]Format{FormatBinary, FormatJSON} {
+		data, ok, err := readAppend(buf, s.Path(kind, key, f))
+		if err != nil {
+			return buf, f, false, fmt.Errorf("pipeline: get %s/%s: %w", kind, key, err)
+		}
+		if ok {
+			return data, f, true, nil
+		}
+	}
+	return buf, FormatJSON, false, nil
+}
+
+// readAppend reads path into buf, reusing its capacity.
+func readAppend(buf []byte, path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, false, nil
+		return buf, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("pipeline: get %s/%s: %w", kind, key, err)
+		return buf, false, err
 	}
-	return data, true, nil
+	defer f.Close()
+	if st, err := f.Stat(); err == nil {
+		if need := int(st.Size()); cap(buf) < need {
+			buf = make([]byte, 0, need)
+		}
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := f.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, true, nil
+		}
+		if err != nil {
+			return buf, false, err
+		}
+	}
 }
 
-// Put writes the artifact atomically.
-func (s *Store) Put(kind Kind, key Key, data []byte) error {
+// shardDir returns the shard directory for (kind, key), creating it on the
+// first Put this process issues for it. Lost creation races are benign —
+// MkdirAll succeeds on an existing directory — so the sync.Map needs no
+// singleflight.
+func (s *Store) shardDir(kind Kind, key Key) (string, error) {
+	rel := string(kind) + "/" + string(key[:2])
+	dir := filepath.Join(s.dir, string(kind), string(key[:2]))
+	if _, ok := s.dirs.Load(rel); ok {
+		return dir, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	s.dirs.Store(rel, struct{}{})
+	return dir, nil
+}
+
+// Put writes the artifact atomically in the given format. The shard
+// directory is created on the process's first write to it and remembered, so
+// steady-state Puts are one temp-file write plus one rename.
+func (s *Store) Put(kind Kind, key Key, data []byte, f Format) error {
 	if err := key.Validate(); err != nil {
 		return err
 	}
-	path := s.Path(kind, key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir, err := s.shardDir(kind, key)
+	if err != nil {
 		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	path := filepath.Join(dir, string(key)+f.ext())
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, err)
 	}

@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"ctdvs/internal/ir"
+	"ctdvs/internal/pipeline"
+	"ctdvs/internal/volt"
+)
+
+// TestBinaryParity is the codec-parity property the artifact store relies on:
+// DecodeBinary(EncodeBinary(pr)) must equal Decode(Encode(pr)) — a warm sweep
+// reading a mix of legacy JSON and fresh binary profiles computes identical
+// schedules either way.
+func TestBinaryParity(t *testing.T) {
+	pr := collect(t)
+	p := branchyLoop(500)
+	in := ir.Input{Name: "in", Seed: 11}
+	modes := volt.XScale3()
+
+	jdata, err := Encode(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdata, err := EncodeBinary(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipeline.IsBinaryArtifact(bdata) {
+		t.Fatal("binary encoding does not carry the artifact magic")
+	}
+	if len(bdata) >= len(jdata) {
+		t.Errorf("binary profile (%d bytes) not smaller than JSON (%d bytes)", len(bdata), len(jdata))
+	}
+
+	fromJSON, err := Decode(jdata, p, in, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinary(bdata, p, in, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSON, fromBin) {
+		t.Error("binary and JSON decode disagree")
+	}
+
+	// Determinism: re-encoding the binary decode reproduces the bytes, and
+	// the fingerprint (which deliberately stays on the JSON encoding, so
+	// cache keys never depend on the stored format) is unchanged.
+	bdata2, err := EncodeBinary(fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bdata) != string(bdata2) {
+		t.Error("binary encode(decode(encode)) is not byte-identical")
+	}
+	fp1, err := Fingerprint(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Error("binary round trip changed the profile fingerprint")
+	}
+}
+
+// TestDecodeBinaryRejects holds the binary profile decoder to clean rejection
+// of mismatched identities and truncation at every byte boundary.
+func TestDecodeBinaryRejects(t *testing.T) {
+	pr := collect(t)
+	p := branchyLoop(500)
+	in := ir.Input{Name: "in", Seed: 11}
+	modes := volt.XScale3()
+	data, err := EncodeBinary(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeBinary(data, p, ir.Input{Name: "other", Seed: 11}, modes); err == nil {
+		t.Error("input mismatch accepted")
+	}
+	if _, err := DecodeBinary(data, p, in, volt.AMDK6Mobile()); err == nil {
+		t.Error("mode-set mismatch accepted")
+	}
+	for n := 0; n < len(data); n += 7 {
+		if _, err := DecodeBinary(data[:n], p, in, modes); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+	}
+	if _, err := DecodeBinary(append(append([]byte{}, data...), 0), p, in, modes); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

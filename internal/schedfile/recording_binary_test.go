@@ -1,0 +1,154 @@
+package schedfile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctdvs/internal/ir"
+	"ctdvs/internal/pipeline"
+	"ctdvs/internal/volt"
+)
+
+// TestRecordingBinaryParity is the codec-parity property the store relies on:
+// the binary and JSON codecs must decode to identical recordings, byte-level
+// determinism included, so a sweep reading a mix of legacy JSON and fresh
+// binary artifacts computes identical results.
+func TestRecordingBinaryParity(t *testing.T) {
+	p, in, mc, rec := recordingFixture(t)
+
+	jdata, err := EncodeRecording(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdata, err := EncodeRecordingBinary(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipeline.IsBinaryArtifact(bdata) {
+		t.Fatal("binary encoding does not carry the artifact magic")
+	}
+	if len(bdata) >= len(jdata) {
+		t.Errorf("binary recording (%d bytes) not smaller than JSON (%d bytes)", len(bdata), len(jdata))
+	}
+
+	fromJSON, err := DecodeRecording(jdata, p, in, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeRecordingBinary(bdata, p, in, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSON, fromBin) {
+		t.Errorf("binary and JSON decode disagree:\njson   %+v\nbinary %+v", fromJSON, fromBin)
+	}
+	if !reflect.DeepEqual(rec, fromBin) {
+		t.Errorf("binary round trip changed the recording:\nwant %+v\ngot  %+v", rec, fromBin)
+	}
+
+	// Replays of the two decodes are bit-identical.
+	want, err := fromJSON.ReplayAll(volt.XScale3().Modes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fromBin.ReplayAll(volt.XScale3().Modes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("binary-decoded recording replays differently")
+	}
+
+	// Determinism: encode(decode(encode(x))) == encode(x).
+	bdata2, err := EncodeRecordingBinary(fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bdata) != string(bdata2) {
+		t.Error("binary encode(decode(encode)) is not byte-identical")
+	}
+}
+
+// TestDecodeRecordingBinaryRejects holds the binary decoder to rejecting — not
+// crashing on, not over-allocating for — malformed frames: wrong identity,
+// wrong machine, and truncation at every byte boundary.
+func TestDecodeRecordingBinaryRejects(t *testing.T) {
+	p, in, mc, rec := recordingFixture(t)
+	data, err := EncodeRecordingBinary(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := mc
+	otherCfg.MemLatencyUS *= 2
+	if _, err := DecodeRecordingBinary(data, p, in, otherCfg); err == nil || !strings.Contains(err.Error(), "machine") {
+		t.Errorf("config mismatch: err = %v", err)
+	}
+	if _, err := DecodeRecordingBinary(data, p, ir.Input{Name: "other", Seed: in.Seed}, mc); err == nil {
+		t.Error("input mismatch accepted")
+	}
+
+	// Every truncation must be rejected cleanly, including cuts inside the
+	// frame header, the varint trace and the raw bitstream words.
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeRecordingBinary(data[:n], p, in, mc); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+	}
+	// Trailing garbage is rejected by the exact-consumption check.
+	if _, err := DecodeRecordingBinary(append(append([]byte{}, data...), 0), p, in, mc); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A frame claiming a giant trace must fail before allocating: flip the
+	// version byte range check first — craft a frame that is headers plus a
+	// huge uvarint length where the trace length lives.
+	if _, err := DecodeRecordingBinary([]byte("CTDB\x01\x01"), p, in, mc); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+// FuzzDecodeRecordingBinary throws arbitrary bytes at the binary recording
+// decoder and holds it to returning errors, never panicking or allocating
+// from unchecked lengths. Anything it accepts against the fixture program
+// must re-encode deterministically.
+func FuzzDecodeRecordingBinary(f *testing.F) {
+	p, in, mc, rec := recordingFixture(f)
+	valid, err := EncodeRecordingBinary(rec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Targeted corruptions: bad magic, bad version, wrong tag, truncated
+	// header, huge claimed trace length, flipped payload bytes.
+	f.Add([]byte{})
+	f.Add([]byte("CTDB"))
+	f.Add([]byte("CTDB\x02\x01"))
+	f.Add([]byte("CTDB\x01\x03"))
+	f.Add(append([]byte("CTDB\x01\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	if len(valid) > 8 {
+		half := append([]byte{}, valid[:len(valid)/2]...)
+		f.Add(half)
+		flipped := append([]byte{}, valid...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeRecordingBinary(data, p, in, mc)
+		if err != nil {
+			return // rejection is the expected outcome for garbage
+		}
+		enc, err := EncodeRecordingBinary(got)
+		if err != nil {
+			t.Fatalf("accepted recording failed to encode: %v", err)
+		}
+		got2, err := DecodeRecordingBinary(enc, p, in, mc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted recording failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Fatal("binary encode/decode round trip changed the recording")
+		}
+	})
+}

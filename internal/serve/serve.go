@@ -624,6 +624,9 @@ func (s *Server) Stats() *Stats {
 	}
 	if s.cfg.Pipeline != nil {
 		st.Cache = s.cfg.Pipeline.Manifest().Stats()
+		if store := s.cfg.Pipeline.Store(); store != nil {
+			st.CacheCodec = store.WriteFormat().String()
+		}
 	}
 	return st
 }

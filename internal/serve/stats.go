@@ -110,4 +110,8 @@ type Stats struct {
 	// Cache aggregates the pipeline manifest per stage: misses are real
 	// simulations/solves, disk and memory hits were served from artifacts.
 	Cache map[pipeline.Kind]pipeline.KindStats `json:"cache"`
+
+	// CacheCodec is the disk store's write format ("binary" or "json");
+	// empty when the server runs memory-only.
+	CacheCodec string `json:"cache_codec,omitempty"`
 }

@@ -3,7 +3,6 @@ package sim
 import (
 	"math"
 	"math/bits"
-	"math/rand"
 
 	"ctdvs/internal/cfg"
 	"ctdvs/internal/ir"
@@ -417,7 +416,7 @@ func (m *Machine) runCompiled(cp *CompiledProgram, in ir.Input, sched *Schedule,
 		Mode:    initial,
 		Blocks:  make([]BlockStat, nb),
 	}
-	rng := rand.New(rand.NewSource(in.Seed))
+	rng := m.rngFor(in.Seed)
 
 	var (
 		timeUS     float64
@@ -639,7 +638,6 @@ func (m *Machine) runCompiled(cp *CompiledProgram, in ir.Input, sched *Schedule,
 			res.Params.TInvariantUS = tInvariantUS
 			res.EdgeCountsByID = copySlice(gcount)
 			res.PathCountsByID = copySlice(pcount)
-			res.EdgeCounts, res.PathCounts = countMaps(cp.info, res.EdgeCountsByID, res.PathCountsByID)
 			return res, nil
 		case termJump:
 			si = cb.jump

@@ -34,16 +34,14 @@ type Result struct {
 	TimeUS   float64
 	EnergyUJ float64
 
-	Blocks     []BlockStat
-	EdgeCounts map[cfg.Edge]int64
-	PathCounts map[cfg.Path]int64
+	Blocks []BlockStat
 
-	// EdgeCountsByID and PathCountsByID are the dense counterparts of
-	// EdgeCounts/PathCounts, indexed by the canonical cfg.FromProgram
-	// numbering: EdgeCountsByID[g.EdgeID(e)] is the traversal count of e
-	// (the virtual entry edge is index 0), and PathCountsByID[i] counts
-	// g.Paths[i]. Zero entries are present (the maps omit them). Profiling
-	// consumes these directly; the maps remain for external callers.
+	// EdgeCountsByID and PathCountsByID are dense traversal counters indexed
+	// by the canonical cfg.FromProgram numbering: EdgeCountsByID[g.EdgeID(e)]
+	// is the traversal count of e (the virtual entry edge is index 0), and
+	// PathCountsByID[i] counts g.Paths[i]. Zero entries are present. Every
+	// producer and the profiling pipeline deal only in these arrays; callers
+	// that want cfg-keyed sparse maps derive them on demand with CountMaps.
 	EdgeCountsByID []int64
 	PathCountsByID []int64
 
@@ -112,6 +110,12 @@ type Machine struct {
 	// buf holds the pooled per-run dense counters the compiled kernel
 	// executes against; cleared on run entry and by Reset.
 	buf runBuffers
+
+	// rng is the per-run pseudorandom source, re-seeded on every run entry so
+	// reuse draws exactly the sequence a fresh rand.New(rand.NewSource(seed))
+	// would. Like compiled, it survives Reset: a re-seeded generator carries
+	// no state between runs, it only spares the allocation.
+	rng *rand.Rand
 }
 
 // New builds a machine, validating the configuration.
@@ -138,6 +142,19 @@ func MustNew(c Config) *Machine {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// rngFor returns the machine's run RNG positioned at the start of seed's
+// sequence. rand.Source.Seed resets the generator to the exact state
+// rand.NewSource(seed) constructs, so every run still sees the same draws
+// regardless of what earlier runs consumed.
+func (m *Machine) rngFor(seed int64) *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(seed))
+		return m.rng
+	}
+	m.rng.Seed(seed)
+	return m.rng
+}
 
 // Reset returns the machine to its post-New state: cold caches, cold
 // predictor, no edge hook. Individual runs already reset microarchitectural
@@ -259,7 +276,7 @@ func (m *Machine) runReference(p *ir.Program, in ir.Input, sched *Schedule, gov 
 	}
 	entryCount := int64(0) // traversals of the virtual entry edge
 
-	rng := rand.New(rand.NewSource(in.Seed))
+	rng := m.rngFor(in.Seed)
 	loopCount := make([]int, maxCond+1)
 	streamOff := make([]int64, len(p.Streams))
 
@@ -398,7 +415,6 @@ func (m *Machine) runReference(p *ir.Program, in ir.Input, sched *Schedule, gov 
 			res.LeakageEnergyUJ = m.cfg.StaticPowerMW * timeUS * 1e-3
 			res.EnergyUJ = energyUJ + res.LeakageEnergyUJ
 			res.EdgeCountsByID, res.PathCountsByID = toDense(info, gcount, dcount, entryCount, numEdges, numPaths)
-			res.EdgeCounts, res.PathCounts = countMaps(info, res.EdgeCountsByID, res.PathCountsByID)
 			return res, nil
 		case ir.Jump:
 			next = t.To
@@ -628,7 +644,22 @@ func toDense(info []blockInfo, gcount [][]int64, dcount [][][]int64, entryCount 
 	return edges, paths
 }
 
-// countMaps derives the edge/path maps of the Result from the dense counts.
+// CountMaps derives sparse cfg-keyed edge and path count maps from the
+// result's dense counters. p must be the program the result was simulated
+// from; the dense arrays must match its numbering. The simulator's hot paths
+// deal only in the dense arrays — the maps exist for callers (and tests)
+// that want to look counts up by edge or path value.
+func (res *Result) CountMaps(p *ir.Program) (map[cfg.Edge]int64, map[cfg.Path]int64, error) {
+	info, _, numEdges, numPaths := buildBlockInfo(p, nil)
+	if len(res.EdgeCountsByID) != numEdges || len(res.PathCountsByID) != numPaths {
+		return nil, nil, errf("result counts (%d edges, %d paths) do not match program %q (%d, %d)",
+			len(res.EdgeCountsByID), len(res.PathCountsByID), p.Name, numEdges, numPaths)
+	}
+	edges, paths := countMaps(info, res.EdgeCountsByID, res.PathCountsByID)
+	return edges, paths, nil
+}
+
+// countMaps derives sparse edge/path maps from the dense counts.
 // Zero counts are omitted, except the entry edge, which is always present.
 func countMaps(info []blockInfo, edgesByID, pathsByID []int64) (map[cfg.Edge]int64, map[cfg.Path]int64) {
 	edges := make(map[cfg.Edge]int64)

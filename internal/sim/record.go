@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ctdvs/internal/ir"
 	"ctdvs/internal/volt"
@@ -177,27 +178,22 @@ type replayLayout struct {
 	numPaths int
 }
 
-// Bind compiles the per-block replay templates from the program and
-// validates the recorded stream against it: block IDs in range, every trace
-// step a real CFG edge, the exit only at the end, and the event counts
-// consistent with the per-block templates. Record binds the recordings it
-// returns; codecs must Bind after decoding. Replay fails on an unbound
-// Recording.
-func (rec *Recording) Bind(p *ir.Program) error {
-	if err := p.Validate(); err != nil {
-		return err
+// layoutCache memoizes compiled replay layouts by program identity. A layout
+// is derived from the program alone (never from a recording or a machine
+// configuration) and is immutable once built, so every Recording of the same
+// *ir.Program shares one — a warm sweep binding thousands of decoded
+// recordings compiles each workload's templates once. Like Machine.compiled,
+// entries live as long as the program pointer does; workloads come from a
+// fixed generator registry, not per-request construction.
+var layoutCache sync.Map // map[*ir.Program]*replayLayout
+
+// layoutFor returns the cached replay layout of p, compiling it on first use.
+func layoutFor(p *ir.Program) *replayLayout {
+	if v, ok := layoutCache.Load(p); ok {
+		return v.(*replayLayout)
 	}
-	if err := rec.Config.Validate(); err != nil {
-		return err
-	}
-	if p.Name != rec.Program {
-		return errf("recording is for program %q, not %q", rec.Program, p.Name)
-	}
-	if len(p.Blocks) != rec.NumBlocks {
-		return errf("recording has %d blocks, program %q has %d", rec.NumBlocks, p.Name, len(p.Blocks))
-	}
-	info, _, numEdges, numPaths := buildBlockInfo(p, nil)
-	lay := &replayLayout{info: info, numEdges: numEdges, numPaths: numPaths}
+	lay := &replayLayout{}
+	lay.info, _, lay.numEdges, lay.numPaths = buildBlockInfo(p, nil)
 	lay.blocks = make([]replayBlock, len(p.Blocks))
 	for i, b := range p.Blocks {
 		rb := &lay.blocks[i]
@@ -221,6 +217,30 @@ func (rec *Recording) Bind(p *ir.Program) error {
 			rb.term = termBranch
 		}
 	}
+	actual, _ := layoutCache.LoadOrStore(p, lay)
+	return actual.(*replayLayout)
+}
+
+// Bind attaches the program's compiled replay templates (cached per program,
+// see layoutFor) and validates the recorded stream against them: block IDs in
+// range, every trace step a real CFG edge, the exit only at the end, and the
+// event counts consistent with the per-block templates. Record binds the
+// recordings it returns; codecs must Bind after decoding. Replay fails on an
+// unbound Recording.
+func (rec *Recording) Bind(p *ir.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := rec.Config.Validate(); err != nil {
+		return err
+	}
+	if p.Name != rec.Program {
+		return errf("recording is for program %q, not %q", rec.Program, p.Name)
+	}
+	if len(p.Blocks) != rec.NumBlocks {
+		return errf("recording has %d blocks, program %q has %d", rec.NumBlocks, p.Name, len(p.Blocks))
+	}
+	lay := layoutFor(p)
 	if err := rec.validateStream(lay); err != nil {
 		return err
 	}

@@ -1,6 +1,10 @@
 package sim
 
-import "ctdvs/internal/volt"
+import (
+	"sync"
+
+	"ctdvs/internal/volt"
+)
 
 // Replay reprices the recorded run at one mode, reproducing bit for bit the
 // Result that Run would compute for the same program, input and machine
@@ -13,6 +17,30 @@ func (rec *Recording) Replay(mode volt.Mode) (*Result, error) {
 	}
 	return out[0], nil
 }
+
+// replayScratch is the reusable working state of one ReplayAll call: the
+// per-(op, mode) increment tables, per-mode event constants and per-mode
+// machine state. Nothing in it escapes into the returned Results — those get
+// their own consolidated backing arrays — so the whole struct cycles through
+// a pool and steady-state replay performs a fixed handful of allocations
+// regardless of trace length.
+type replayScratch struct {
+	dtOp, enOp []float64 // per-(op, mode) compute increments, op-major
+
+	// Per-mode event constants, with the interpreter's expression shapes.
+	dtL1, enL1   []float64
+	dtL2, enL2   []float64
+	dtPen, enPen []float64
+
+	// Per-mode machine state.
+	timeV, energyV []float64
+	t0, e0         []float64
+	memChans       []float64 // nm × nchan slots, mode-major
+
+	blocks [][]BlockStat // per-mode views into the escaping stat backing
+}
+
+var replayScratchPool = sync.Pool{New: func() interface{} { return new(replayScratch) }}
 
 // ReplayAll replays the recording at every given mode in one pass over the
 // event stream: the trace and outcome bitstreams are decoded once and each
@@ -39,24 +67,37 @@ func (rec *Recording) ReplayAll(modes []volt.Mode) ([]*Result, error) {
 		return results, nil
 	}
 
+	sc := replayScratchPool.Get().(*replayScratch)
+	defer replayScratchPool.Put(sc)
+
 	// Per-(op, mode) increments, op-major so the per-event mode loop is
 	// contiguous, and per-mode event constants, each built with the same
 	// expression shape the interpreter evaluates (see run and memAccess).
+	// grown zeroes the tables, matching the fresh make()s they replace (the
+	// opMem rows of dtOp/enOp are written never, read never — but must not
+	// carry stale values into a shorter layout's rows).
 	nOps := len(lay.ops)
-	dtOp := make([]float64, nOps*nm)
-	enOp := make([]float64, nOps*nm)
-	var (
-		dtL1  = make([]float64, nm)
-		enL1  = make([]float64, nm)
-		dtL2  = make([]float64, nm)
-		enL2  = make([]float64, nm)
-		dtPen = make([]float64, nm)
-		enPen = make([]float64, nm)
-	)
+	dtOp := grown(sc.dtOp, nOps*nm)
+	enOp := grown(sc.enOp, nOps*nm)
+	dtL1 := grown(sc.dtL1, nm)
+	enL1 := grown(sc.enL1, nm)
+	dtL2 := grown(sc.dtL2, nm)
+	enL2 := grown(sc.enL2, nm)
+	dtPen := grown(sc.dtPen, nm)
+	enPen := grown(sc.enPen, nm)
+	sc.dtOp, sc.enOp = dtOp, enOp
+	sc.dtL1, sc.enL1, sc.dtL2, sc.enL2, sc.dtPen, sc.enPen = dtL1, enL1, dtL2, enL2, dtPen, enPen
 	l1Cycles := int64(cfg.L1.LatencyCycles)
 	l2Cycles := int64(cfg.L2.LatencyCycles)
 	pen := int64(cfg.MispredictPenaltyCycles)
-	blocks := make([][]BlockStat, nm)
+
+	// Per-mode block stats escape into the Results, so they are carved from
+	// one fresh backing array rather than pooled; the [][]BlockStat header is
+	// scratch.
+	nb := rec.NumBlocks
+	blocks := grown(sc.blocks, nm)
+	sc.blocks = blocks
+	statBack := make([]BlockStat, nm*nb)
 	for mi, mode := range modes {
 		eC := cfg.CeffComputeNF * mode.V * mode.V * 1e-3
 		v2 := mode.V * mode.V
@@ -72,17 +113,18 @@ func (rec *Recording) ReplayAll(modes []volt.Mode) ([]*Result, error) {
 				enOp[oi*nm+mi] = lay.ops[oi].fcyc * eC
 			}
 		}
-		blocks[mi] = make([]BlockStat, rec.NumBlocks)
+		blocks[mi] = statBack[mi*nb : (mi+1)*nb : (mi+1)*nb]
 	}
 
 	// Per-mode machine state, mode-major; memory channels are nchan slots
 	// per mode.
 	nchan := cfg.MemChannels
-	timeV := make([]float64, nm)
-	energyV := make([]float64, nm)
-	t0 := make([]float64, nm)
-	e0 := make([]float64, nm)
-	memChans := make([]float64, nm*nchan)
+	timeV := grown(sc.timeV, nm)
+	energyV := grown(sc.energyV, nm)
+	t0 := grown(sc.t0, nm)
+	e0 := grown(sc.e0, nm)
+	memChans := grown(sc.memChans, nm*nchan)
+	sc.timeV, sc.energyV, sc.t0, sc.e0, sc.memChans = timeV, energyV, t0, e0, memChans
 
 	var memIdx, brIdx int64
 	for _, b32 := range rec.Trace {
@@ -196,15 +238,28 @@ func (rec *Recording) ReplayAll(modes []volt.Mode) ([]*Result, error) {
 			memIdx, rec.MemOps, brIdx, rec.BranchOps)
 	}
 
+	// Assemble the escaping Results from consolidated backing arrays: one
+	// []Result, one count array carved per mode. The three-index subslices
+	// keep each result's counts append-safe and non-nil (empty path sets stay
+	// DeepEqual to Run's non-nil empties).
+	ne, np := len(rec.EdgeCountsByID), len(rec.PathCountsByID)
+	resBack := make([]Result, nm)
+	cntBack := make([]int64, nm*(ne+np))
 	for mi, mode := range modes {
-		res := &Result{
+		base := mi * (ne + np)
+		edges := cntBack[base : base+ne : base+ne]
+		paths := cntBack[base+ne : base+ne+np : base+ne+np]
+		copy(edges, rec.EdgeCountsByID)
+		copy(paths, rec.PathCountsByID)
+		res := &resBack[mi]
+		*res = Result{
 			Program: rec.Program,
 			Input:   rec.Input,
 			Mode:    mode,
 			Blocks:  blocks[mi],
 
-			EdgeCountsByID: copySlice(rec.EdgeCountsByID),
-			PathCountsByID: copySlice(rec.PathCountsByID),
+			EdgeCountsByID: edges,
+			PathCountsByID: paths,
 			Params:         rec.Params,
 
 			L1Hits:      rec.L1Hits,
@@ -216,7 +271,6 @@ func (rec *Recording) ReplayAll(modes []volt.Mode) ([]*Result, error) {
 		res.TimeUS = timeV[mi]
 		res.LeakageEnergyUJ = cfg.StaticPowerMW * timeV[mi] * 1e-3
 		res.EnergyUJ = energyV[mi] + res.LeakageEnergyUJ
-		res.EdgeCounts, res.PathCounts = countMaps(lay.info, res.EdgeCountsByID, res.PathCountsByID)
 		results[mi] = res
 	}
 	return results, nil

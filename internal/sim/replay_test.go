@@ -245,7 +245,9 @@ func TestReplayUnboundRecording(t *testing.T) {
 
 // TestDenseCountsMatchGraph pins the correspondence between the simulator's
 // dense count arrays and cfg.FromProgram numbering: EdgeCountsByID[g.EdgeID(e)]
-// must equal the map count of e, and PathCountsByID must follow g.Paths order.
+// must equal CountMaps' count of e, and PathCountsByID must follow g.Paths
+// order. CountMaps derives its keys from buildBlockInfo's independent
+// numbering, so agreement here pins the two numberings to each other.
 func TestDenseCountsMatchGraph(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	m := MustNew(DefaultConfig())
@@ -263,14 +265,18 @@ func TestDenseCountsMatchGraph(t *testing.T) {
 			t.Fatalf("prog %d: dense dims (%d, %d), graph (%d, %d)",
 				pi, len(res.EdgeCountsByID), len(res.PathCountsByID), g.NumEdges(), len(g.Paths))
 		}
+		edgeCounts, pathCounts, err := res.CountMaps(p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for id, e := range g.Edges {
-			if res.EdgeCountsByID[id] != res.EdgeCounts[e] {
-				t.Errorf("prog %d: edge %v: dense %d, map %d", pi, e, res.EdgeCountsByID[id], res.EdgeCounts[e])
+			if res.EdgeCountsByID[id] != edgeCounts[e] {
+				t.Errorf("prog %d: edge %v: dense %d, map %d", pi, e, res.EdgeCountsByID[id], edgeCounts[e])
 			}
 		}
 		for id, pt := range g.Paths {
-			if res.PathCountsByID[id] != res.PathCounts[pt] {
-				t.Errorf("prog %d: path %v: dense %d, map %d", pi, pt, res.PathCountsByID[id], res.PathCounts[pt])
+			if res.PathCountsByID[id] != pathCounts[pt] {
+				t.Errorf("prog %d: path %v: dense %d, map %d", pi, pt, res.PathCountsByID[id], pathCounts[pt])
 			}
 		}
 	}

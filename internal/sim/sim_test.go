@@ -168,24 +168,28 @@ func TestEdgeAndPathCounts(t *testing.T) {
 	p := memLoop(trips, 1<<12, false)
 	res := run(t, p, mode800())
 
+	edgeCounts, pathCounts, err := res.CountMaps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	back := cfg.Edge{From: 0, To: 0}
 	exit := cfg.Edge{From: 0, To: 1}
 	entry := cfg.Edge{From: cfg.Entry, To: 0}
-	if res.EdgeCounts[entry] != 1 {
-		t.Errorf("entry edge count = %d", res.EdgeCounts[entry])
+	if edgeCounts[entry] != 1 {
+		t.Errorf("entry edge count = %d", edgeCounts[entry])
 	}
-	if res.EdgeCounts[back] != trips-1 {
-		t.Errorf("back edge count = %d, want %d", res.EdgeCounts[back], trips-1)
+	if edgeCounts[back] != trips-1 {
+		t.Errorf("back edge count = %d, want %d", edgeCounts[back], trips-1)
 	}
-	if res.EdgeCounts[exit] != 1 {
-		t.Errorf("exit edge count = %d, want 1", res.EdgeCounts[exit])
+	if edgeCounts[exit] != 1 {
+		t.Errorf("exit edge count = %d, want 1", edgeCounts[exit])
 	}
 
 	// D_hij consistency: sum over h of D(h,i,j) = G(i,j) for non-terminal i.
-	sumIn := res.PathCounts[cfg.Path{In: cfg.Entry, Mid: 0, Out: 0}] +
-		res.PathCounts[cfg.Path{In: 0, Mid: 0, Out: 0}]
-	if sumIn != res.EdgeCounts[back] {
-		t.Errorf("sum of paths into back edge = %d, want %d", sumIn, res.EdgeCounts[back])
+	sumIn := pathCounts[cfg.Path{In: cfg.Entry, Mid: 0, Out: 0}] +
+		pathCounts[cfg.Path{In: 0, Mid: 0, Out: 0}]
+	if sumIn != edgeCounts[back] {
+		t.Errorf("sum of paths into back edge = %d, want %d", sumIn, edgeCounts[back])
 	}
 	// Block invocations: body runs trips times, exit once.
 	if res.Blocks[0].Invocations != trips {

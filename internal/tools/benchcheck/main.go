@@ -1,9 +1,28 @@
-// Command benchcheck gates CI on the perf records the benchmarks write: every
-// numeric field of every BENCH_*.json whose name contains "speedup" must be
-// at least 1.0. A speedup below 1 means an optimization that the repo claims
-// (warm starts, parallel branch-and-bound, the artifact store, recorded
-// profiling, the compiled simulator kernel) is costing time instead of saving
-// it, and the build should say so loudly.
+// Command benchcheck gates CI on the perf records the benchmarks write: the
+// committed BENCH_*.json files. A record that stops honoring its own claims —
+// a speedup below its floor, an allocation count above its ceiling — means an
+// optimization the repo advertises (warm starts, parallel branch-and-bound,
+// the binary artifact store, recorded profiling, the compiled simulator
+// kernel, pooled replay) is costing instead of saving, and the build should
+// say so loudly.
+//
+// # Record schema
+//
+// Records are arbitrary JSON; benchcheck walks every object and enforces two
+// field conventions:
+//
+//   - Speedups. Every numeric field whose key path contains "speedup" must be
+//     at least 1.0 — unless a sibling field named "<key>_floor" exists, in
+//     which case the value must be at least that floor (so a record can claim
+//     "binary decode is ≥1.3x faster than JSON", not merely "not slower").
+//     Floor fields themselves (keys ending in "_floor") state requirements
+//     and are not checked as speedups.
+//
+//   - Allocation ceilings. Every numeric field whose key ends in
+//     "allocs_per_op" is checked against the sibling field whose key replaces
+//     that suffix with "allocs_ceiling", when present: measured allocations
+//     per operation must not exceed the ceiling. A ceiling with no measured
+//     sibling is an error — a stale claim nothing backs.
 //
 // Run it from the repository root:
 //
@@ -22,8 +41,8 @@ import (
 	"strings"
 )
 
-// checkValue walks an arbitrary decoded JSON value and reports every numeric
-// field whose key path contains "speedup" with a value below 1.0.
+// checkValue walks an arbitrary decoded JSON value and reports every field
+// that violates the speedup-floor or allocation-ceiling conventions.
 func checkValue(file, path string, v interface{}, bad *[]string) {
 	switch t := v.(type) {
 	case map[string]interface{}:
@@ -37,15 +56,32 @@ func checkValue(file, path string, v interface{}, bad *[]string) {
 			if path != "" {
 				p = path + "." + k
 			}
+			num, isNum := t[k].(float64)
+			switch {
+			case isNum && strings.Contains(strings.ToLower(k), "speedup") && !strings.HasSuffix(k, "_floor"):
+				floor := 1.0
+				if f, ok := t[k+"_floor"].(float64); ok {
+					floor = f
+				}
+				if num < floor {
+					*bad = append(*bad, fmt.Sprintf("%s: %s = %v < %v", file, p, num, floor))
+				}
+			case isNum && strings.HasSuffix(k, "allocs_per_op"):
+				ck := strings.TrimSuffix(k, "allocs_per_op") + "allocs_ceiling"
+				if ceil, ok := t[ck].(float64); ok && num > ceil {
+					*bad = append(*bad, fmt.Sprintf("%s: %s = %v > ceiling %v", file, p, num, ceil))
+				}
+			case isNum && strings.HasSuffix(k, "allocs_ceiling"):
+				mk := strings.TrimSuffix(k, "allocs_ceiling") + "allocs_per_op"
+				if _, ok := t[mk].(float64); !ok {
+					*bad = append(*bad, fmt.Sprintf("%s: %s has no measured sibling %s", file, p, mk))
+				}
+			}
 			checkValue(file, p, t[k], bad)
 		}
 	case []interface{}:
 		for i, e := range t {
 			checkValue(file, fmt.Sprintf("%s[%d]", path, i), e, bad)
-		}
-	case float64:
-		if strings.Contains(strings.ToLower(path), "speedup") && t < 1.0 {
-			*bad = append(*bad, fmt.Sprintf("%s: %s = %v < 1.0", file, path, t))
 		}
 	}
 }
