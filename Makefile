@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all fuzz-smoke ci
+.PHONY: build test test-race vet bench bench-all bench-history fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,17 +20,18 @@ vet:
 	$(GO) vet ./...
 
 # The solver/pipeline/profiling/simulator/server/store benchmarks that rewrite
-# BENCH_milp.json, BENCH_pipeline.json, BENCH_profile.json, BENCH_sim.json,
-# BENCH_serve.json, BENCH_taskgraph.json and BENCH_store.json: serial MILP
-# (warm vs cold inline), parallel MILP, the artifact-store replay,
-# recorded-vs-per-mode profile collection, the compiled simulator kernel vs
-# the reference interpreter, the optimization server under concurrent load
-# (cold store vs warm), the multi-core task-graph solve with
-# serial-vs-parallel schedule execution, and the sharded-store scenario
-# matrix (binary vs JSON warm reads, pooled replay allocations).
-# bench-all runs everything.
+# BENCH_milp.json, BENCH_bound.json, BENCH_pipeline.json, BENCH_profile.json,
+# BENCH_sim.json, BENCH_serve.json, BENCH_taskgraph.json and BENCH_store.json:
+# serial MILP (warm vs cold inline), parallel MILP, the analytic dual bound
+# (branch-and-bound nodes with the Li–Yao–Yuan bound on vs off), the
+# artifact-store replay, recorded-vs-per-mode profile collection, the
+# compiled simulator kernel vs the reference interpreter, the optimization
+# server under concurrent load (cold store vs warm), the multi-core
+# task-graph solve with serial-vs-parallel schedule execution, and the
+# sharded-store scenario matrix (binary vs JSON warm reads, pooled replay
+# allocations). bench-all runs everything.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput|BenchmarkTaskGraphSolve|BenchmarkStoreScenarioMatrix)$$' -benchmem .
+	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkMILPAnalyticBound|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput|BenchmarkTaskGraphSolve|BenchmarkStoreScenarioMatrix)$$' -benchmem .
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -54,10 +55,18 @@ fuzz-smoke:
 # and HEFT placement, and the optimization server's flight table and worker
 # pool), and the perf-record gate: no committed BENCH_*.json may claim a
 # speedup below its floor (1.0 by default) or allocations above a committed
-# allocs_ceiling — see internal/tools/benchcheck for the schema.
+# allocs_ceiling — see internal/tools/benchcheck for the schema. benchcheck
+# -history additionally tracks the gated metrics across runs in
+# BENCH_history.jsonl (see the history target).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile ./internal/serve ./internal/core ./internal/schedfile ./internal/workloads
+	$(GO) test -race ./internal/pipeline ./internal/exp ./internal/milp ./internal/lp ./internal/sim ./internal/profile ./internal/serve ./internal/core ./internal/schedfile ./internal/workloads ./internal/analytic
 	$(GO) run ./internal/tools/benchcheck
+
+# benchcheck in history mode: the usual floor/ceiling gate plus a comparison
+# of every gated metric against the previous BENCH_history.jsonl entry (10%
+# slack); a passing run appends the new entry as the next baseline.
+bench-history:
+	$(GO) run ./internal/tools/benchcheck -history

@@ -677,7 +677,7 @@ type milpBenchRecord struct {
 
 // milpBenchProfile collects the mpeg/decode profile and mid-range deadline
 // shared by the MILP solver benchmarks.
-func milpBenchProfile(b *testing.B) (*profile.Profile, float64) {
+func milpBenchProfile(b testing.TB) (*profile.Profile, float64) {
 	b.Helper()
 	m := sim.MustNew(sim.DefaultConfig())
 	spec := workloads.MpegDecode(benchScale)
@@ -691,7 +691,7 @@ func milpBenchProfile(b *testing.B) (*profile.Profile, float64) {
 
 // solveMpegUnfiltered runs the full-edge-set optimization at the given
 // branch-and-bound worker count, optionally with warm starts disabled.
-func solveMpegUnfiltered(b *testing.B, pr *profile.Profile, dl float64, workers int, coldOnly bool) *core.Result {
+func solveMpegUnfiltered(b testing.TB, pr *profile.Profile, dl float64, workers int, coldOnly bool) *core.Result {
 	b.Helper()
 	res, err := core.OptimizeSingle(pr, dl, &core.Options{
 		FilterTail: -1,
@@ -812,6 +812,146 @@ func BenchmarkMILPParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_milp.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- analytic dual-bound benchmark ---
+//
+// BenchmarkMILPAnalyticBound solves the unfiltered mpeg/decode MILP with the
+// Li–Yao–Yuan analytic dual bound enabled (the default) and disabled
+// (milp.Options.DisableAnalyticBound), at the mid-range benchmark deadline
+// and at a tight deadline where child pruning fires hardest. The bound is a
+// relaxation, so it may only change the work, never the answer: the record
+// asserts bit-identical objectives and strictly fewer committed
+// branch-and-bound nodes with the bound on, and writes node and wall-time
+// ratios to BENCH_bound.json (benchcheck gates the node speedups against
+// their floors).
+
+// boundBenchRecord is the schema of BENCH_bound.json.
+type boundBenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	Scale        float64 `json:"scale"`
+	ObjectiveUJ  float64 `json:"objective_uj"`
+	BitIdentical bool    `json:"bit_identical"`
+	// Mid-range deadline (the BenchmarkMILPSerial operating point).
+	DeadlineUS        float64 `json:"deadline_us"`
+	NodesOff          int     `json:"bb_nodes_bound_off"`
+	NodesOn           int     `json:"bb_nodes_bound_on"`
+	AnalyticPrunes    int     `json:"analytic_prunes"`
+	NodesSpeedup      float64 `json:"speedup_nodes_bound_on_vs_off"`
+	NodesSpeedupFloor float64 `json:"speedup_nodes_bound_on_vs_off_floor"`
+	OffNsOp           float64 `json:"bound_off_ns_per_op"`
+	OnNsOp            float64 `json:"bound_on_ns_per_op"`
+	WallRatio         float64 `json:"wall_ratio_off_vs_on"`
+	// Tight deadline (15% of the slack span above the fastest schedule),
+	// where most children die against the incumbent before any LP solve.
+	TightDeadlineUS        float64 `json:"tight_deadline_us"`
+	TightNodesOff          int     `json:"tight_bb_nodes_bound_off"`
+	TightNodesOn           int     `json:"tight_bb_nodes_bound_on"`
+	TightAnalyticPrunes    int     `json:"tight_analytic_prunes"`
+	TightNodesSpeedup      float64 `json:"speedup_nodes_tight_bound_on_vs_off"`
+	TightNodesSpeedupFloor float64 `json:"speedup_nodes_tight_bound_on_vs_off_floor"`
+}
+
+// solveMpegBounded runs the unfiltered warm serial solve with the analytic
+// dual bound switched on or off.
+func solveMpegBounded(b testing.TB, pr *profile.Profile, dl float64, disable bool) *core.Result {
+	b.Helper()
+	res, err := core.OptimizeSingle(pr, dl, &core.Options{
+		FilterTail: -1,
+		MILP: &milp.Options{
+			TimeLimit:            2 * time.Minute,
+			Workers:              1,
+			DisableAnalyticBound: disable,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkMILPAnalyticBound(b *testing.B) {
+	pr, dl := milpBenchProfile(b)
+
+	// Off baseline, averaged after an untimed warm-up like the parallel
+	// benchmark's serial baseline.
+	solveMpegBounded(b, pr, dl, true)
+	var off *core.Result
+	offNs := timeIters(8, func() {
+		off = solveMpegBounded(b, pr, dl, true)
+	})
+
+	b.ResetTimer()
+	var on *core.Result
+	for i := 0; i < b.N; i++ {
+		on = solveMpegBounded(b, pr, dl, false)
+	}
+	b.StopTimer()
+	onNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+	if off.PredictedEnergyUJ != on.PredictedEnergyUJ {
+		b.Fatalf("objective diverged: bound off %v vs on %v",
+			off.PredictedEnergyUJ, on.PredictedEnergyUJ)
+	}
+	if on.Solver.Nodes >= off.Solver.Nodes {
+		b.Fatalf("analytic bound did not shrink the tree: %d nodes on vs %d off",
+			on.Solver.Nodes, off.Solver.Nodes)
+	}
+
+	// Tight deadline: nodes only, one solve per configuration.
+	n := pr.Modes.Len()
+	fast, slow := pr.TotalTimeUS[n-1], pr.TotalTimeUS[0]
+	if fast > slow {
+		fast, slow = slow, fast
+	}
+	dlTight := fast + 0.15*(slow-fast)
+	tOff := solveMpegBounded(b, pr, dlTight, true)
+	tOn := solveMpegBounded(b, pr, dlTight, false)
+	if tOff.PredictedEnergyUJ != tOn.PredictedEnergyUJ {
+		b.Fatalf("tight objective diverged: bound off %v vs on %v",
+			tOff.PredictedEnergyUJ, tOn.PredictedEnergyUJ)
+	}
+	if tOn.Solver.Nodes >= tOff.Solver.Nodes {
+		b.Fatalf("analytic bound did not shrink the tight tree: %d nodes on vs %d off",
+			tOn.Solver.Nodes, tOff.Solver.Nodes)
+	}
+
+	rec := boundBenchRecord{
+		Benchmark:    "mpeg/decode",
+		Scale:        benchScale,
+		ObjectiveUJ:  on.PredictedEnergyUJ,
+		BitIdentical: true,
+
+		DeadlineUS:     dl,
+		NodesOff:       off.Solver.Nodes,
+		NodesOn:        on.Solver.Nodes,
+		AnalyticPrunes: on.Solver.AnalyticPrunes,
+		NodesSpeedup:   float64(off.Solver.Nodes) / float64(on.Solver.Nodes),
+		// The solve is deterministic at fixed scale, so the measured node
+		// ratios are exact; the floors sit just under them to catch any
+		// regression of the bound's strength.
+		NodesSpeedupFloor: 1.05,
+		OffNsOp:           offNs,
+		OnNsOp:            onNs,
+		WallRatio:         offNs / onNs,
+
+		TightDeadlineUS:        dlTight,
+		TightNodesOff:          tOff.Solver.Nodes,
+		TightNodesOn:           tOn.Solver.Nodes,
+		TightAnalyticPrunes:    tOn.Solver.AnalyticPrunes,
+		TightNodesSpeedup:      float64(tOff.Solver.Nodes) / float64(tOn.Solver.Nodes),
+		TightNodesSpeedupFloor: 1.05,
+	}
+	b.ReportMetric(rec.NodesSpeedup, "nodes-speedup")
+	b.ReportMetric(float64(rec.AnalyticPrunes), "analytic-prunes")
+	b.ReportMetric(rec.WallRatio, "wall-ratio-off-vs-on")
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_bound.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }
@@ -1253,15 +1393,15 @@ type storeBenchRecord struct {
 	Cells        int     `json:"cells"`
 	// Warm matrix reads: Store.Get plus recording decode, one cell per op,
 	// cycling the whole workload × deadline × capacitance matrix.
-	BinNsOp          float64 `json:"binary_warm_read_ns_per_op"`
-	BinBytesOp       float64 `json:"binary_warm_read_bytes_per_op"`
-	BinAllocsOp      float64 `json:"binary_warm_read_allocs_per_op"`
-	BinAllocsCeil    float64 `json:"binary_warm_read_allocs_ceiling"`
-	JSONNsOp     float64 `json:"json_warm_read_ns_per_op"`
-	JSONBytesOp  float64 `json:"json_warm_read_bytes_per_op"`
-	JSONAllocsOp float64 `json:"json_warm_read_allocs_per_op"`
-	Speedup      float64 `json:"speedup_binary_vs_json"`
-	SpeedupFloor float64 `json:"speedup_binary_vs_json_floor"`
+	BinNsOp       float64 `json:"binary_warm_read_ns_per_op"`
+	BinBytesOp    float64 `json:"binary_warm_read_bytes_per_op"`
+	BinAllocsOp   float64 `json:"binary_warm_read_allocs_per_op"`
+	BinAllocsCeil float64 `json:"binary_warm_read_allocs_ceiling"`
+	JSONNsOp      float64 `json:"json_warm_read_ns_per_op"`
+	JSONBytesOp   float64 `json:"json_warm_read_bytes_per_op"`
+	JSONAllocsOp  float64 `json:"json_warm_read_allocs_per_op"`
+	Speedup       float64 `json:"speedup_binary_vs_json"`
+	SpeedupFloor  float64 `json:"speedup_binary_vs_json_floor"`
 	// Full warm cell path, read through replay: the legacy shape (JSON read,
 	// then sparse count maps derived per replayed result, the seed's hot
 	// path) against the lean shape (binary read, pooled dense replay).
@@ -1512,19 +1652,19 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 	binNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 
 	rec := storeBenchRecord{
-		Experiment:       "scenario-matrix",
-		Scale:            benchScale,
-		Workloads:        len(specs),
-		Deadlines:        nDeadlines,
-		Capacitances:     nCaps,
-		Cells:            len(cells),
-		BinNsOp:          binNs,
-		BinBytesOp:       binRes.bytesOp,
-		BinAllocsOp:      binRes.allocsOp,
-		BinAllocsCeil:    storeBenchBinAllocsCeil,
-		JSONNsOp:         jsonRes.nsOp,
-		JSONBytesOp:      jsonRes.bytesOp,
-		JSONAllocsOp:     jsonRes.allocsOp,
+		Experiment:         "scenario-matrix",
+		Scale:              benchScale,
+		Workloads:          len(specs),
+		Deadlines:          nDeadlines,
+		Capacitances:       nCaps,
+		Cells:              len(cells),
+		BinNsOp:            binNs,
+		BinBytesOp:         binRes.bytesOp,
+		BinAllocsOp:        binRes.allocsOp,
+		BinAllocsCeil:      storeBenchBinAllocsCeil,
+		JSONNsOp:           jsonRes.nsOp,
+		JSONBytesOp:        jsonRes.bytesOp,
+		JSONAllocsOp:       jsonRes.allocsOp,
 		Speedup:            jsonRes.nsOp / binNs,
 		SpeedupFloor:       storeBenchSpeedupFloor,
 		LegacyPathNsOp:     legacyRes.nsOp,

@@ -100,9 +100,10 @@ func main() {
 
 	fmt.Printf("%s input %q: deadline %.1f µs, %d voltage levels, c=%.2g F\n",
 		spec.Name, spec.Inputs[*input].Name, dl, *levels, *capF)
-	fmt.Printf("MILP: %d/%d independent edges, %d nodes, %d LP solves, %v (%v)\n",
+	fmt.Printf("MILP: %d/%d independent edges, %d nodes (%d pruned analytically), %d LP solves, %v (%v)\n",
 		res.IndependentEdges, res.TotalEdges,
-		res.Solver.Nodes, res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
+		res.Solver.Nodes, res.Solver.AnalyticPrunes,
+		res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
 		res.Solver.Status)
 	fmt.Printf("LP:   %d warm / %d cold / %d fallback solves (%.0f%% warm), %d pivots (%.1f/node), %v in simplex\n",
 		res.Solver.WarmSolves, res.Solver.ColdSolves, res.Solver.WarmFallbacks,
@@ -232,8 +233,9 @@ func runGraph(app *cli.App, cfg *exp.Config, name, file string, cores, levels in
 
 	fmt.Printf("%s: %d tasks on %d cores, deadline %.1f µs (span %.1f..%.1f), %d voltage levels\n",
 		gs.Name, len(gw.Graph.Tasks), gw.Cores, gw.DeadlineUS, gw.FastUS, gw.SlowUS, levels)
-	fmt.Printf("MILP: %d nodes, %d LP solves, %v (%v)\n",
-		res.Solver.Nodes, res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
+	fmt.Printf("MILP: %d nodes (%d pruned analytically), %d LP solves, %v (%v)\n",
+		res.Solver.Nodes, res.Solver.AnalyticPrunes,
+		res.Solver.LPIters, res.Solver.SolveTime.Round(time.Millisecond),
 		res.Solver.Status)
 	fmt.Printf("predicted: energy %.1f µJ, makespan %.1f µs\n",
 		res.PredictedEnergyUJ, res.PredictedMakespanUS)

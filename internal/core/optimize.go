@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sort"
 
 	"ctdvs/internal/cfg"
 	"ctdvs/internal/lp"
@@ -124,6 +125,10 @@ type formulation struct {
 
 	energyScale float64 // objective was divided by this
 	timeScale   []float64
+
+	// bounder evaluates the analytic dual bound for branch-and-bound node
+	// boxes (see analytic_bound.go); Solve wires it into milp.Options.
+	bounder *analyticBounder
 }
 
 func pairKey(a, b int) [2]int {
@@ -298,6 +303,61 @@ func buildFormulation(cats []Category, modes *volt.ModeSet, uf *unionFind, o Opt
 		}
 		p.MustAddConstraint(terms, lp.LE, c.DeadlineUS/f.timeScale[ci])
 	}
+
+	// Analytic dual bound data: the same coefficients the LP rows carry,
+	// laid out densely. Mode binaries are the first G·nm variables in group
+	// creation order, so group g's block starts at variable g·nm and the
+	// dense index of a union-find root is kvar[root]/nm.
+	numGroups := len(f.kvar)
+	be := make([][]float64, numGroups)
+	for root, base := range f.kvar {
+		em := make([]float64, nm)
+		for m := 0; m < nm; m++ {
+			em[m] = groupE[root][m] / f.energyScale
+		}
+		be[base/nm] = em
+	}
+	vsq := make([]float64, nm)
+	for m := 0; m < nm; m++ {
+		v := modes.Mode(m).V
+		vsq[m] = v * v
+	}
+	specs := make([]abCatSpec, len(cats))
+	for ci, c := range cats {
+		bt := make([][]float64, numGroups)
+		for root, times := range groupT[ci] {
+			tm := make([]float64, nm)
+			for m := 0; m < nm; m++ {
+				tm[m] = times[m] / f.timeScale[ci]
+			}
+			bt[f.kvar[root]/nm] = tm
+		}
+		specs[ci] = abCatSpec{budget: c.DeadlineUS / f.timeScale[ci], t: bt}
+	}
+	var pairs []abPair
+	if !o.NoTransitionCosts {
+		ce := o.Regulator.CE()
+		for key := range f.evar {
+			wd := 0.0
+			for ci, c := range cats {
+				wd += c.Weight * f.pathD[key][ci]
+			}
+			pairs = append(pairs, abPair{
+				a: f.kvar[key[0]] / nm,
+				b: f.kvar[key[1]] / nm,
+				w: ce * wd / f.energyScale,
+			})
+		}
+		// evar is a map; fix the order so the bound's floating-point sums
+		// are bit-identical run to run.
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].a != pairs[j].a {
+				return pairs[i].a < pairs[j].a
+			}
+			return pairs[i].b < pairs[j].b
+		})
+	}
+	f.bounder = newAnalyticBounder(nm, be, vsq, specs, pairs, false)
 
 	return f
 }

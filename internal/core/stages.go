@@ -125,7 +125,17 @@ func (fm *Formulation) Solve() (*Result, error) {
 // branch-and-bound search and surfaces ctx's error (never a partial result),
 // so a disconnected client stops burning solver time.
 func (fm *Formulation) SolveContext(ctx context.Context) (*Result, error) {
-	res, err := milp.SolveContext(ctx, fm.f.problem, fm.prep.Opts.MILP)
+	// Hand the search the formulation's analytic dual bound (a copy of the
+	// caller's options, so shared Options values are never mutated);
+	// milp.Options.DisableAnalyticBound switches it off from there.
+	mo := milp.Options{}
+	if fm.prep.Opts.MILP != nil {
+		mo = *fm.prep.Opts.MILP
+	}
+	if mo.AnalyticBound == nil {
+		mo.AnalyticBound = fm.f.bounder.Bound
+	}
+	res, err := milp.SolveContext(ctx, fm.f.problem, &mo)
 	if err != nil {
 		return nil, err
 	}

@@ -222,7 +222,59 @@ func OptimizeGraphContext(ctx context.Context, g *ir.TaskGraph, profiles []*prof
 		}
 	}
 
-	res, err := milp.SolveContext(ctx, p, o.MILP)
+	// Analytic dual bound, per-task: each core's serial chain must fit its
+	// release-to-deadline window, so one time budget per occupied core —
+	// cores partition the tasks, so per-core repairs add. The search uses
+	// it to discard nodes before their LP solves (Result.AnalyticPrunes).
+	be := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		em := make([]float64, nm)
+		for m := 0; m < nm; m++ {
+			em[m] = profiles[t].TotalEnergyUJ[m] / escale
+		}
+		be[t] = em
+	}
+	vsq := make([]float64, nm)
+	for m := 0; m < nm; m++ {
+		vm := modes.Mode(m).V
+		vsq[m] = vm * vm
+	}
+	var specs []abCatSpec
+	for _, coreOrder := range order {
+		if len(coreOrder) == 0 {
+			continue
+		}
+		minRel, maxDl := math.Inf(1), 0.0
+		bt := make([][]float64, n)
+		for _, t := range coreOrder {
+			minRel = math.Min(minRel, g.Tasks[t].ReleaseUS)
+			maxDl = math.Max(maxDl, effectiveDeadline(g.Tasks[t], deadlineUS))
+			tm := make([]float64, nm)
+			for m := 0; m < nm; m++ {
+				tm[m] = profiles[t].TotalTimeUS[m] / tscale
+			}
+			bt[t] = tm
+		}
+		specs = append(specs, abCatSpec{budget: (maxDl - minRel) / tscale, t: bt})
+	}
+	var pairs []abPair
+	if !o.NoTransitionCosts {
+		for _, coreOrder := range order {
+			for i := 1; i < len(coreOrder); i++ {
+				pairs = append(pairs, abPair{a: coreOrder[i-1], b: coreOrder[i], w: ce / escale})
+			}
+		}
+	}
+	bounder := newAnalyticBounder(nm, be, vsq, specs, pairs, true)
+
+	mo := milp.Options{}
+	if o.MILP != nil {
+		mo = *o.MILP
+	}
+	if mo.AnalyticBound == nil {
+		mo.AnalyticBound = bounder.Bound
+	}
+	res, err := milp.SolveContext(ctx, p, &mo)
 	if err != nil {
 		return nil, err
 	}

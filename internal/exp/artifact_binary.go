@@ -26,22 +26,24 @@ func putSolverStats(w *pipeline.BinWriter, s solverStatsJSON) {
 	w.Varint(int64(s.WarmFallbacks))
 	w.Varint(int64(s.LPPivots))
 	w.Varint(s.LPTimeNS)
+	w.Varint(int64(s.AnalyticPrunes))
 }
 
 func readSolverStats(r *pipeline.BinReader) solverStatsJSON {
 	return solverStatsJSON{
-		Status:        r.Int(),
-		Objective:     r.Float(),
-		Bound:         r.Float(),
-		Nodes:         r.Int(),
-		LPIters:       r.Int(),
-		Workers:       r.Int(),
-		SolveTimeNS:   r.Varint(),
-		WarmSolves:    r.Int(),
-		ColdSolves:    r.Int(),
-		WarmFallbacks: r.Int(),
-		LPPivots:      r.Int(),
-		LPTimeNS:      r.Varint(),
+		Status:         r.Int(),
+		Objective:      r.Float(),
+		Bound:          r.Float(),
+		Nodes:          r.Int(),
+		LPIters:        r.Int(),
+		Workers:        r.Int(),
+		SolveTimeNS:    r.Varint(),
+		WarmSolves:     r.Int(),
+		ColdSolves:     r.Int(),
+		WarmFallbacks:  r.Int(),
+		LPPivots:       r.Int(),
+		LPTimeNS:       r.Varint(),
+		AnalyticPrunes: r.Int(),
 	}
 }
 

@@ -14,18 +14,19 @@ import (
 // randSolverStats draws a plausible solver-statistics record.
 func randSolverStats(rng *rand.Rand) solverStatsJSON {
 	return solverStatsJSON{
-		Status:        rng.Intn(4),
-		Objective:     rng.Float64() * 1e4,
-		Bound:         rng.Float64() * 1e4,
-		Nodes:         rng.Intn(1 << 20),
-		LPIters:       rng.Intn(1 << 20),
-		Workers:       1 + rng.Intn(16),
-		SolveTimeNS:   rng.Int63n(1e12),
-		WarmSolves:    rng.Intn(1000),
-		ColdSolves:    rng.Intn(1000),
-		WarmFallbacks: rng.Intn(100),
-		LPPivots:      rng.Intn(1 << 20),
-		LPTimeNS:      rng.Int63n(1e12),
+		Status:         rng.Intn(4),
+		Objective:      rng.Float64() * 1e4,
+		Bound:          rng.Float64() * 1e4,
+		Nodes:          rng.Intn(1 << 20),
+		LPIters:        rng.Intn(1 << 20),
+		Workers:        1 + rng.Intn(16),
+		SolveTimeNS:    rng.Int63n(1e12),
+		WarmSolves:     rng.Intn(1000),
+		ColdSolves:     rng.Intn(1000),
+		WarmFallbacks:  rng.Intn(100),
+		LPPivots:       rng.Intn(1 << 20),
+		LPTimeNS:       rng.Int63n(1e12),
+		AnalyticPrunes: rng.Intn(1000),
 	}
 }
 

@@ -157,7 +157,7 @@ type graphSolveArtifact struct {
 	Solver              solverStatsJSON     `json:"solver"`
 }
 
-const graphSolveArtifactVersion = 1
+const graphSolveArtifactVersion = 2
 
 var graphSolveStage = pipeline.Stage[*graphSolveArtifact]{
 	Kind:   pipeline.StageGraphSolve,
@@ -205,18 +205,19 @@ func (a *graphSolveArtifact) toGraphResult(gw *GraphWorkload, reg volt.Regulator
 		PredictedMakespanUS: plan.MakespanUS,
 		Plan:                plan,
 		Solver: &milp.Result{
-			Status:        milp.Status(a.Solver.Status),
-			Objective:     a.Solver.Objective,
-			Bound:         a.Solver.Bound,
-			Nodes:         a.Solver.Nodes,
-			LPIters:       a.Solver.LPIters,
-			Workers:       a.Solver.Workers,
-			SolveTime:     time.Duration(a.Solver.SolveTimeNS),
-			WarmSolves:    a.Solver.WarmSolves,
-			ColdSolves:    a.Solver.ColdSolves,
-			WarmFallbacks: a.Solver.WarmFallbacks,
-			LPPivots:      a.Solver.LPPivots,
-			LPTime:        time.Duration(a.Solver.LPTimeNS),
+			Status:         milp.Status(a.Solver.Status),
+			Objective:      a.Solver.Objective,
+			Bound:          a.Solver.Bound,
+			Nodes:          a.Solver.Nodes,
+			LPIters:        a.Solver.LPIters,
+			Workers:        a.Solver.Workers,
+			SolveTime:      time.Duration(a.Solver.SolveTimeNS),
+			WarmSolves:     a.Solver.WarmSolves,
+			ColdSolves:     a.Solver.ColdSolves,
+			WarmFallbacks:  a.Solver.WarmFallbacks,
+			LPPivots:       a.Solver.LPPivots,
+			LPTime:         time.Duration(a.Solver.LPTimeNS),
+			AnalyticPrunes: a.Solver.AnalyticPrunes,
 		},
 	}, nil
 }
@@ -279,18 +280,19 @@ func (c *Config) OptimizeGraphCtx(ctx context.Context, gw *GraphWorkload, opts *
 			PredictedEnergyUJ:   res.PredictedEnergyUJ,
 			PredictedMakespanUS: res.PredictedMakespanUS,
 			Solver: solverStatsJSON{
-				Status:        int(res.Solver.Status),
-				Objective:     res.Solver.Objective,
-				Bound:         res.Solver.Bound,
-				Nodes:         res.Solver.Nodes,
-				LPIters:       res.Solver.LPIters,
-				Workers:       res.Solver.Workers,
-				SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
-				WarmSolves:    res.Solver.WarmSolves,
-				ColdSolves:    res.Solver.ColdSolves,
-				WarmFallbacks: res.Solver.WarmFallbacks,
-				LPPivots:      res.Solver.LPPivots,
-				LPTimeNS:      res.Solver.LPTime.Nanoseconds(),
+				Status:         int(res.Solver.Status),
+				Objective:      res.Solver.Objective,
+				Bound:          res.Solver.Bound,
+				Nodes:          res.Solver.Nodes,
+				LPIters:        res.Solver.LPIters,
+				Workers:        res.Solver.Workers,
+				SolveTimeNS:    res.Solver.SolveTime.Nanoseconds(),
+				WarmSolves:     res.Solver.WarmSolves,
+				ColdSolves:     res.Solver.ColdSolves,
+				WarmFallbacks:  res.Solver.WarmFallbacks,
+				LPPivots:       res.Solver.LPPivots,
+				LPTimeNS:       res.Solver.LPTime.Nanoseconds(),
+				AnalyticPrunes: res.Solver.AnalyticPrunes,
 			},
 		}, nil
 	})

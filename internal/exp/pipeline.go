@@ -66,6 +66,10 @@ type solverStatsJSON struct {
 	WarmFallbacks int   `json:"warm_fallbacks,omitempty"`
 	LPPivots      int   `json:"lp_pivots,omitempty"`
 	LPTimeNS      int64 `json:"lp_time_ns,omitempty"`
+	// AnalyticPrunes counts branch-and-bound children discarded by the
+	// Li–Yao–Yuan analytic dual bound before any LP solve (absent, i.e. zero,
+	// in artifacts written before the analytic-bound backend).
+	AnalyticPrunes int `json:"analytic_prunes,omitempty"`
 }
 
 // solveArtifact is the cached outcome of one MILP solve. Infeasible outcomes
@@ -82,7 +86,7 @@ type solveArtifact struct {
 	Solver            solverStatsJSON `json:"solver"`
 }
 
-const solveArtifactVersion = 1
+const solveArtifactVersion = 2
 
 var solveStage = pipeline.Stage[*solveArtifact]{
 	Kind:   pipeline.StageSolve,
@@ -116,18 +120,19 @@ func (a *solveArtifact) toResult() (*core.Result, error) {
 		IndependentEdges:  a.IndependentEdges,
 		TotalEdges:        a.TotalEdges,
 		Solver: &milp.Result{
-			Status:        milp.Status(a.Solver.Status),
-			Objective:     a.Solver.Objective,
-			Bound:         a.Solver.Bound,
-			Nodes:         a.Solver.Nodes,
-			LPIters:       a.Solver.LPIters,
-			Workers:       a.Solver.Workers,
-			SolveTime:     time.Duration(a.Solver.SolveTimeNS),
-			WarmSolves:    a.Solver.WarmSolves,
-			ColdSolves:    a.Solver.ColdSolves,
-			WarmFallbacks: a.Solver.WarmFallbacks,
-			LPPivots:      a.Solver.LPPivots,
-			LPTime:        time.Duration(a.Solver.LPTimeNS),
+			Status:         milp.Status(a.Solver.Status),
+			Objective:      a.Solver.Objective,
+			Bound:          a.Solver.Bound,
+			Nodes:          a.Solver.Nodes,
+			LPIters:        a.Solver.LPIters,
+			Workers:        a.Solver.Workers,
+			SolveTime:      time.Duration(a.Solver.SolveTimeNS),
+			WarmSolves:     a.Solver.WarmSolves,
+			ColdSolves:     a.Solver.ColdSolves,
+			WarmFallbacks:  a.Solver.WarmFallbacks,
+			LPPivots:       a.Solver.LPPivots,
+			LPTime:         time.Duration(a.Solver.LPTimeNS),
+			AnalyticPrunes: a.Solver.AnalyticPrunes,
 		},
 	}, nil
 }
@@ -198,18 +203,19 @@ func (c *Config) OptimizeCtx(ctx context.Context, cats []core.Category, opts *co
 			IndependentEdges:  res.IndependentEdges,
 			TotalEdges:        res.TotalEdges,
 			Solver: solverStatsJSON{
-				Status:        int(res.Solver.Status),
-				Objective:     res.Solver.Objective,
-				Bound:         res.Solver.Bound,
-				Nodes:         res.Solver.Nodes,
-				LPIters:       res.Solver.LPIters,
-				Workers:       res.Solver.Workers,
-				SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
-				WarmSolves:    res.Solver.WarmSolves,
-				ColdSolves:    res.Solver.ColdSolves,
-				WarmFallbacks: res.Solver.WarmFallbacks,
-				LPPivots:      res.Solver.LPPivots,
-				LPTimeNS:      res.Solver.LPTime.Nanoseconds(),
+				Status:         int(res.Solver.Status),
+				Objective:      res.Solver.Objective,
+				Bound:          res.Solver.Bound,
+				Nodes:          res.Solver.Nodes,
+				LPIters:        res.Solver.LPIters,
+				Workers:        res.Solver.Workers,
+				SolveTimeNS:    res.Solver.SolveTime.Nanoseconds(),
+				WarmSolves:     res.Solver.WarmSolves,
+				ColdSolves:     res.Solver.ColdSolves,
+				WarmFallbacks:  res.Solver.WarmFallbacks,
+				LPPivots:       res.Solver.LPPivots,
+				LPTimeNS:       res.Solver.LPTime.Nanoseconds(),
+				AnalyticPrunes: res.Solver.AnalyticPrunes,
 			},
 		}, nil
 	})

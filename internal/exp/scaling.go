@@ -30,6 +30,11 @@ type ScalingRow struct {
 	// them that re-solved warm from a parent basis.
 	FullPivots  int
 	FullWarmHit float64
+	// FullNodes and FullPrunes describe the unfiltered search tree: nodes
+	// committed to the heap and children the analytic dual bound discarded
+	// before any LP solve.
+	FullNodes  int
+	FullPrunes int
 }
 
 // Speedup returns full/filtered solve time.
@@ -95,6 +100,8 @@ func SolverScaling(c *Config, regions, trips int, sizes []int, perSolve time.Dur
 			FilterStatus:   filt.Solver.Status,
 			FullPivots:     full.Solver.LPPivots,
 			FullWarmHit:    full.Solver.WarmHitRate(),
+			FullNodes:      full.Solver.Nodes,
+			FullPrunes:     full.Solver.AnalyticPrunes,
 		}
 		return nil
 	})
@@ -109,7 +116,7 @@ func RenderSolverScaling(rows []ScalingRow) *Table {
 	t := &Table{
 		Title: "Solver scaling: filtering speedup vs CFG size (extends Figure 14)",
 		Headers: []string{"edges", "groups", "t(all)", "t(subset)", "speedup",
-			"E(all) µJ", "E(subset) µJ", "pivots(all)", "warm(all)", "status(all)"},
+			"E(all) µJ", "E(subset) µJ", "nodes(all)", "pruned(all)", "pivots(all)", "warm(all)", "status(all)"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -119,6 +126,8 @@ func RenderSolverScaling(rows []ScalingRow) *Table {
 			fmt.Sprintf("%.1fx", r.Speedup()),
 			fmt.Sprintf("%.1f", r.FullEnergyUJ),
 			fmt.Sprintf("%.1f", r.FilterEnergyUJ),
+			fmt.Sprintf("%d", r.FullNodes),
+			fmt.Sprintf("%d", r.FullPrunes),
 			fmt.Sprintf("%d", r.FullPivots),
 			fmt.Sprintf("%.0f%%", 100*r.FullWarmHit),
 			r.FullStatus.String(),

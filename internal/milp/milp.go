@@ -125,6 +125,28 @@ type Options struct {
 	// default and fall back to cold solves automatically when a basis
 	// fails validation.
 	DisableWarmStart bool
+	// AnalyticBound, when set, supplies a proven lower bound (in objective
+	// units) on the best integer solution of the subproblem whose variable
+	// boxes are the root bounds composed with the given overrides; a nil or
+	// empty map means the root box. The second return reports whether a
+	// bound is available for that box at all.
+	//
+	// The search consults it at two points: once at the root, where an
+	// SOS1-rounding incumbent within Gap of the bound proves optimality
+	// without branching; and at every child-node creation, where a bound
+	// that cannot beat the incumbent discards the node before its
+	// dual-simplex solve (counted in Result.AnalyticPrunes) and otherwise
+	// tightens the node's best-bound priority.
+	//
+	// The callback must be a pure function of the overrides (plus whatever
+	// immutable problem data it closed over): it is called only from the
+	// coordinator goroutine, in deterministic order, so any worker count
+	// stays bit-for-bit reproducible — but an impure bound would break
+	// run-to-run determinism. It must not mutate the map.
+	AnalyticBound func(overrides map[int]lp.Bound) (float64, bool)
+	// DisableAnalyticBound ignores AnalyticBound for this solve. Pinned
+	// baselines and benchmarking only.
+	DisableAnalyticBound bool
 	// LP tunes the relaxation solver.
 	LP *lp.Options
 }
@@ -153,6 +175,12 @@ type Result struct {
 	WarmSolves    int
 	ColdSolves    int
 	WarmFallbacks int
+	// AnalyticPrunes counts branch-and-bound children discarded by
+	// Options.AnalyticBound before any dual-simplex solve was paid for
+	// them. Like the warm-start counters it is deterministic for a given
+	// worker count; it stays zero when no bound callback is set or
+	// DisableAnalyticBound is on.
+	AnalyticPrunes int
 	// LPPivots is the total simplex pivot count across all LP solves
 	// (including basis-restoration pivots), the search's work metric.
 	LPPivots int
@@ -256,6 +284,10 @@ func SolveContext(ctx context.Context, p *Problem, opts *Options) (*Result, erro
 		}
 	}
 
+	if o.DisableAnalyticBound {
+		o.AnalyticBound = nil
+	}
+
 	s := &search{
 		prob:         p,
 		opts:         o,
@@ -281,6 +313,7 @@ func SolveContext(ctx context.Context, p *Problem, opts *Options) (*Result, erro
 	res.WarmSolves = s.warm
 	res.ColdSolves = s.cold
 	res.WarmFallbacks = s.fellBack
+	res.AnalyticPrunes = s.analyticPrunes
 	res.LPPivots = s.lpPivots
 	res.LPTime = s.lpTime
 	return res, nil
@@ -317,6 +350,10 @@ type search struct {
 	// are deterministic for a given worker count.
 	warm, cold, fellBack, lpPivots int
 	lpTime                         time.Duration
+
+	// analyticPrunes counts children Options.AnalyticBound discarded before
+	// their LP solve. Coordinator only, like the warm-start statistics.
+	analyticPrunes int
 
 	// Worker pool, started lazily by run() once a round opens with at least
 	// Options.ParallelThreshold nodes (nil while gated and always nil when
@@ -558,6 +595,24 @@ func (s *search) run() *Result {
 		return &Result{Status: NoSolution, Nodes: 1, LPIters: s.lpIters}
 	}
 
+	// Root dual bound: the analytic (continuous + quantization) bound is a
+	// proven lower bound on the integer optimum, so an SOS1-rounding
+	// incumbent within Gap of it is optimal before any branching. Even when
+	// the check fails, the bound may tighten the root's best-bound priority.
+	rootBound := rootSol.Objective
+	if s.opts.AnalyticBound != nil {
+		if ab, ok := s.opts.AnalyticBound(nil); ok {
+			s.roundingHeuristic(rootSol.X, nil)
+			if s.haveInc && !better(ab, s.incumbentObj, s.opts.Gap) {
+				s.nodes = 1
+				return s.finish(Optimal, math.Max(ab, rootBound))
+			}
+			if ab > rootBound {
+				rootBound = ab
+			}
+		}
+	}
+
 	// The worker pool starts lazily: small trees (the warm-started common
 	// case) finish before the open-node count ever reaches the threshold and
 	// run the serial algorithm verbatim, paying nothing for the unused
@@ -579,10 +634,10 @@ func (s *search) run() *Result {
 		}
 	}
 
-	h := &nodeHeap{{id: 0, overrides: map[int]bound{}, lpBound: rootSol.Objective, basis: rootSol.Basis}}
+	h := &nodeHeap{{id: 0, overrides: map[int]bound{}, lpBound: rootBound, basis: rootSol.Basis}}
 	heap.Init(h)
 	s.nextID = 1
-	bestBound := rootSol.Objective
+	bestBound := rootBound
 
 	for h.Len() > 0 {
 		if s.nodes >= s.opts.MaxNodes || s.timeUp() || s.cancelled() {
@@ -663,9 +718,8 @@ func (s *search) run() *Result {
 			up[branch] = bound{Lo: math.Ceil(f), Hi: hi}
 			// Both children warm-start from this node's optimal basis: the
 			// tightened bound leaves it dual feasible (see lp/warm.go).
-			heap.Push(h, &node{id: s.nextID, overrides: down, lpBound: sol.Objective, basis: sol.Basis})
-			heap.Push(h, &node{id: s.nextID + 1, overrides: up, lpBound: sol.Objective, basis: sol.Basis})
-			s.nextID += 2
+			s.pushChild(h, down, sol.Objective, sol.Basis)
+			s.pushChild(h, up, sol.Objective, sol.Basis)
 		}
 	}
 
@@ -673,6 +727,29 @@ func (s *search) run() *Result {
 		return s.finish(Optimal, s.incumbentObj)
 	}
 	return &Result{Status: Infeasible, Nodes: s.nodes, LPIters: s.lpIters}
+}
+
+// pushChild files one freshly-branched subproblem into the open-node heap —
+// unless the analytic bound for its box already proves it cannot beat the
+// incumbent, in which case the child is discarded before any LP solve is
+// paid for it. A surviving child's priority is the tighter of the parent
+// relaxation value and the analytic bound, so best-bound selection (and the
+// head-of-round optimality check) see the strongest proven bound either way.
+// Coordinator only: runs inside the sequential commit step.
+func (s *search) pushChild(h *nodeHeap, ov map[int]bound, lpBound float64, basis *lp.Basis) {
+	if s.opts.AnalyticBound != nil {
+		if ab, ok := s.opts.AnalyticBound(ov); ok {
+			if s.haveInc && !better(ab, s.incumbentObj, s.opts.Gap) {
+				s.analyticPrunes++
+				return
+			}
+			if ab > lpBound {
+				lpBound = ab
+			}
+		}
+	}
+	heap.Push(h, &node{id: s.nextID, overrides: ov, lpBound: lpBound, basis: basis})
+	s.nextID++
 }
 
 // better reports whether objective obj improves on the incumbent by more

@@ -71,15 +71,16 @@ func cliFlow(t *testing.T, cfg *exp.Config, req *Request) *Response {
 		IndependentEdges:  res.IndependentEdges,
 		TotalEdges:        res.TotalEdges,
 		Solver: &SolverStats{
-			Status:        res.Solver.Status.String(),
-			Nodes:         res.Solver.Nodes,
-			LPIters:       res.Solver.LPIters,
-			SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
-			WarmSolves:    res.Solver.WarmSolves,
-			ColdSolves:    res.Solver.ColdSolves,
-			WarmFallbacks: res.Solver.WarmFallbacks,
-			LPPivots:      res.Solver.LPPivots,
-			ObjectiveUJ:   res.Solver.Objective,
+			Status:         res.Solver.Status.String(),
+			Nodes:          res.Solver.Nodes,
+			LPIters:        res.Solver.LPIters,
+			SolveTimeNS:    res.Solver.SolveTime.Nanoseconds(),
+			WarmSolves:     res.Solver.WarmSolves,
+			ColdSolves:     res.Solver.ColdSolves,
+			WarmFallbacks:  res.Solver.WarmFallbacks,
+			LPPivots:       res.Solver.LPPivots,
+			AnalyticPrunes: res.Solver.AnalyticPrunes,
+			ObjectiveUJ:    res.Solver.Objective,
 		},
 	}
 	if req.IncludeSchedule {

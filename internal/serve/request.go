@@ -213,15 +213,18 @@ func (q *Request) key() string {
 // mirrors the solve artifact, so warm responses are bit-identical to the
 // cold responses that populated the cache.
 type SolverStats struct {
-	Status        string  `json:"status"`
-	Nodes         int     `json:"nodes"`
-	LPIters       int     `json:"lp_iters"`
-	SolveTimeNS   int64   `json:"solve_time_ns"`
-	WarmSolves    int     `json:"warm_solves"`
-	ColdSolves    int     `json:"cold_solves"`
-	WarmFallbacks int     `json:"warm_fallbacks"`
-	LPPivots      int     `json:"lp_pivots"`
-	ObjectiveUJ   float64 `json:"objective_uj"`
+	Status        string `json:"status"`
+	Nodes         int    `json:"nodes"`
+	LPIters       int    `json:"lp_iters"`
+	SolveTimeNS   int64  `json:"solve_time_ns"`
+	WarmSolves    int    `json:"warm_solves"`
+	ColdSolves    int    `json:"cold_solves"`
+	WarmFallbacks int    `json:"warm_fallbacks"`
+	LPPivots      int    `json:"lp_pivots"`
+	// AnalyticPrunes counts branch-and-bound children the Li–Yao–Yuan
+	// analytic dual bound discarded before any LP solve.
+	AnalyticPrunes int     `json:"analytic_prunes"`
+	ObjectiveUJ    float64 `json:"objective_uj"`
 }
 
 // Measured is the validation simulation's outcome.

@@ -397,16 +397,18 @@ func (s *Server) optimize(ctx context.Context, req *Request) (*Response, error) 
 	resp.IndependentEdges = res.IndependentEdges
 	resp.TotalEdges = res.TotalEdges
 	resp.Solver = &SolverStats{
-		Status:        res.Solver.Status.String(),
-		Nodes:         res.Solver.Nodes,
-		LPIters:       res.Solver.LPIters,
-		SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
-		WarmSolves:    res.Solver.WarmSolves,
-		ColdSolves:    res.Solver.ColdSolves,
-		WarmFallbacks: res.Solver.WarmFallbacks,
-		LPPivots:      res.Solver.LPPivots,
-		ObjectiveUJ:   res.Solver.Objective,
+		Status:         res.Solver.Status.String(),
+		Nodes:          res.Solver.Nodes,
+		LPIters:        res.Solver.LPIters,
+		SolveTimeNS:    res.Solver.SolveTime.Nanoseconds(),
+		WarmSolves:     res.Solver.WarmSolves,
+		ColdSolves:     res.Solver.ColdSolves,
+		WarmFallbacks:  res.Solver.WarmFallbacks,
+		LPPivots:       res.Solver.LPPivots,
+		AnalyticPrunes: res.Solver.AnalyticPrunes,
+		ObjectiveUJ:    res.Solver.Objective,
 	}
+	s.stats.analyticPrunes.Add(int64(res.Solver.AnalyticPrunes))
 
 	if req.IncludeSchedule {
 		f, err := schedfile.New(spec.Name, res.Schedule)
@@ -546,16 +548,18 @@ func (s *Server) optimizeGraph(ctx context.Context, req *Request) (*Response, er
 	}
 	gresp.Modes = modes
 	resp.Solver = &SolverStats{
-		Status:        res.Solver.Status.String(),
-		Nodes:         res.Solver.Nodes,
-		LPIters:       res.Solver.LPIters,
-		SolveTimeNS:   res.Solver.SolveTime.Nanoseconds(),
-		WarmSolves:    res.Solver.WarmSolves,
-		ColdSolves:    res.Solver.ColdSolves,
-		WarmFallbacks: res.Solver.WarmFallbacks,
-		LPPivots:      res.Solver.LPPivots,
-		ObjectiveUJ:   res.Solver.Objective,
+		Status:         res.Solver.Status.String(),
+		Nodes:          res.Solver.Nodes,
+		LPIters:        res.Solver.LPIters,
+		SolveTimeNS:    res.Solver.SolveTime.Nanoseconds(),
+		WarmSolves:     res.Solver.WarmSolves,
+		ColdSolves:     res.Solver.ColdSolves,
+		WarmFallbacks:  res.Solver.WarmFallbacks,
+		LPPivots:       res.Solver.LPPivots,
+		AnalyticPrunes: res.Solver.AnalyticPrunes,
+		ObjectiveUJ:    res.Solver.Objective,
 	}
+	s.stats.analyticPrunes.Add(int64(res.Solver.AnalyticPrunes))
 
 	if !req.SkipMeasure {
 		static, err := s.cfg.SimulateGraphCtx(ctx, gw, res.Schedule)
@@ -606,21 +610,22 @@ func (s *Server) Stats() *Stats {
 		queued = 0 // the two gauges are read racily; never report negative
 	}
 	st := &Stats{
-		UptimeS:     time.Since(s.start).Seconds(),
-		Requests:    s.stats.requests.Load(),
-		Completed:   s.stats.completed.Load(),
-		Infeasible:  s.stats.infeasible.Load(),
-		BadRequests: s.stats.badRequests.Load(),
-		Rejected:    s.stats.rejected.Load(),
-		Cancelled:   s.stats.cancelled.Load(),
-		Failed:      s.stats.failed.Load(),
-		Coalesced:   s.stats.coalesced.Load(),
-		Workers:     s.opts.Workers,
-		QueueDepth:  s.opts.QueueDepth,
-		Active:      active,
-		Queued:      queued,
-		Draining:    s.draining.Load(),
-		Latency:     s.stats.latency.snapshot(),
+		UptimeS:        time.Since(s.start).Seconds(),
+		Requests:       s.stats.requests.Load(),
+		Completed:      s.stats.completed.Load(),
+		Infeasible:     s.stats.infeasible.Load(),
+		BadRequests:    s.stats.badRequests.Load(),
+		Rejected:       s.stats.rejected.Load(),
+		Cancelled:      s.stats.cancelled.Load(),
+		Failed:         s.stats.failed.Load(),
+		Coalesced:      s.stats.coalesced.Load(),
+		AnalyticPrunes: s.stats.analyticPrunes.Load(),
+		Workers:        s.opts.Workers,
+		QueueDepth:     s.opts.QueueDepth,
+		Active:         active,
+		Queued:         queued,
+		Draining:       s.draining.Load(),
+		Latency:        s.stats.latency.snapshot(),
 	}
 	if s.cfg.Pipeline != nil {
 		st.Cache = s.cfg.Pipeline.Manifest().Stats()

@@ -81,6 +81,11 @@ type stats struct {
 	failed      atomic.Int64 // 500s
 	coalesced   atomic.Int64 // requests served by another request's flight
 
+	// analyticPrunes accumulates milp.Result.AnalyticPrunes over every solve
+	// the server reported (cached responses replay the artifact's count, so
+	// warm and cold servers agree for the same request stream).
+	analyticPrunes atomic.Int64
+
 	latency latencyRing
 }
 
@@ -96,6 +101,10 @@ type Stats struct {
 	Cancelled   int64 `json:"cancelled"`
 	Failed      int64 `json:"failed"`
 	Coalesced   int64 `json:"coalesced"`
+
+	// AnalyticPrunes is the running total of branch-and-bound children the
+	// analytic dual bound discarded across all solves this server reported.
+	AnalyticPrunes int64 `json:"analytic_prunes"`
 
 	// Workers/QueueDepth are the configured limits; Active/Queued the
 	// current occupancy (Queued excludes the Active requests).

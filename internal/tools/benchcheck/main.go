@@ -30,15 +30,30 @@
 //
 // It exits nonzero listing every offending field, or prints a one-line
 // summary when all records pass.
+//
+// # History mode
+//
+// With -history, benchcheck additionally normalizes the gated metrics of all
+// records — every speedup and allocs_per_op field, keyed by
+// "<file>:<dotted.path>" — compares them against the most recent entry of
+// BENCH_history.jsonl, and appends the new entry on success. A speedup that
+// fell more than -history-slack (fractionally) below its previous value, or
+// an allocation count that rose more than -history-slack above it, fails the
+// run and leaves the history file untouched, so the last committed entry
+// stays the baseline. Metrics present on only one side (new or retired
+// benchmarks) are ignored.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // checkValue walks an arbitrary decoded JSON value and reports every field
@@ -86,7 +101,107 @@ func checkValue(file, path string, v interface{}, bad *[]string) {
 	}
 }
 
+// collectMetrics walks a decoded record and gathers the gated numeric
+// metrics — speedups and allocation counts — under their "<file>:<path>"
+// keys, the normalized form the history file stores.
+func collectMetrics(file, path string, v interface{}, metrics map[string]float64) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		for k, e := range t {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			num, isNum := e.(float64)
+			if isNum {
+				lower := strings.ToLower(k)
+				if (strings.Contains(lower, "speedup") && !strings.HasSuffix(k, "_floor")) ||
+					strings.HasSuffix(k, "allocs_per_op") {
+					metrics[file+":"+p] = num
+				}
+			}
+			collectMetrics(file, p, e, metrics)
+		}
+	case []interface{}:
+		for i, e := range t {
+			collectMetrics(file, fmt.Sprintf("%s[%d]", path, i), e, metrics)
+		}
+	}
+}
+
+// historyEntry is one line of BENCH_history.jsonl.
+type historyEntry struct {
+	Time    string             `json:"time"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// lastHistoryEntry returns the final entry of the history file, or nil when
+// the file does not exist or holds no entries.
+func lastHistoryEntry(path string) (*historyEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var last *historyEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e historyEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		last = &e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return last, nil
+}
+
+// checkHistory compares the current metrics against the previous entry.
+// Allocation counts regress upward, everything else (speedups) downward;
+// slack is the tolerated fractional drift before a changed metric fails.
+func checkHistory(prev *historyEntry, cur map[string]float64, slack float64, bad *[]string) {
+	if prev == nil {
+		return
+	}
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		was, ok := prev.Metrics[k]
+		if !ok {
+			continue
+		}
+		now := cur[k]
+		if strings.HasSuffix(k, "allocs_per_op") {
+			if now > was*(1+slack) {
+				*bad = append(*bad, fmt.Sprintf("history: %s = %v rose above previous %v (+%.0f%% slack)",
+					k, now, was, 100*slack))
+			}
+		} else if now < was*(1-slack) {
+			*bad = append(*bad, fmt.Sprintf("history: %s = %v fell below previous %v (-%.0f%% slack)",
+				k, now, was, 100*slack))
+		}
+	}
+}
+
 func main() {
+	history := flag.Bool("history", false, "compare gated metrics against BENCH_history.jsonl and append this run on success")
+	historyFile := flag.String("history-file", "BENCH_history.jsonl", "history file for -history mode")
+	historySlack := flag.Float64("history-slack", 0.10, "tolerated fractional regression vs the previous history entry")
+	flag.Parse()
+
 	files, err := filepath.Glob("BENCH_*.json")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
@@ -95,6 +210,7 @@ func main() {
 	sort.Strings(files)
 	var bad []string
 	checked := 0
+	metrics := map[string]float64{}
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
@@ -107,13 +223,50 @@ func main() {
 			os.Exit(1)
 		}
 		checkValue(f, "", v, &bad)
+		if *history {
+			collectMetrics(f, "", v, metrics)
+		}
 		checked++
+	}
+	if *history {
+		prev, err := lastHistoryEntry(*historyFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		checkHistory(prev, metrics, *historySlack, &bad)
+		if len(bad) == 0 {
+			entry := historyEntry{Time: time.Now().UTC().Format(time.RFC3339), Metrics: metrics}
+			line, err := json.Marshal(entry)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.OpenFile(*historyFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+				os.Exit(1)
+			}
+			if _, err := f.Write(append(line, '\n')); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if len(bad) > 0 {
 		for _, line := range bad {
 			fmt.Fprintf(os.Stderr, "benchcheck: %s\n", line)
 		}
 		os.Exit(1)
+	}
+	if *history {
+		fmt.Printf("benchcheck: %d record(s) ok, %d metric(s) appended to %s\n", checked, len(metrics), *historyFile)
+		return
 	}
 	fmt.Printf("benchcheck: %d record(s) ok\n", checked)
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCollectMetrics gathers exactly the gated fields: speedups (not their
+// floors) and allocation counts, nested objects and arrays included.
+func TestCollectMetrics(t *testing.T) {
+	rec := map[string]interface{}{
+		"speedup_nodes":       1.5,
+		"speedup_nodes_floor": 1.1,
+		"warm_allocs_per_op":  12.0,
+		"warm_allocs_ceiling": 20.0,
+		"other":               3.0,
+		"nested":              map[string]interface{}{"speedup_inner": 2.0},
+		"rows":                []interface{}{map[string]interface{}{"speedup_row": 1.2}},
+	}
+	m := map[string]float64{}
+	collectMetrics("BENCH_x.json", "", rec, m)
+	want := map[string]float64{
+		"BENCH_x.json:speedup_nodes":        1.5,
+		"BENCH_x.json:warm_allocs_per_op":   12.0,
+		"BENCH_x.json:nested.speedup_inner": 2.0,
+		"BENCH_x.json:rows[0].speedup_row":  1.2,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("collected %v, want %v", m, want)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+// TestCheckHistory exercises both regression directions and the slack band.
+func TestCheckHistory(t *testing.T) {
+	prev := &historyEntry{Metrics: map[string]float64{
+		"a:speedup_x":          2.0,
+		"a:warm_allocs_per_op": 10.0,
+		"a:speedup_gone":       1.5,
+	}}
+	cases := []struct {
+		name string
+		cur  map[string]float64
+		bad  int
+	}{
+		{"unchanged", map[string]float64{"a:speedup_x": 2.0, "a:warm_allocs_per_op": 10.0}, 0},
+		{"within slack", map[string]float64{"a:speedup_x": 1.85, "a:warm_allocs_per_op": 10.9}, 0},
+		{"speedup regressed", map[string]float64{"a:speedup_x": 1.7}, 1},
+		{"allocs regressed", map[string]float64{"a:warm_allocs_per_op": 12.0}, 1},
+		{"new metric ignored", map[string]float64{"a:speedup_new": 0.1}, 0},
+		{"retired metric ignored", map[string]float64{}, 0},
+	}
+	for _, tc := range cases {
+		var bad []string
+		checkHistory(prev, tc.cur, 0.10, &bad)
+		if len(bad) != tc.bad {
+			t.Errorf("%s: got %d violations %v, want %d", tc.name, len(bad), bad, tc.bad)
+		}
+	}
+	// No previous entry: everything passes.
+	var bad []string
+	checkHistory(nil, map[string]float64{"a:speedup_x": 0.1}, 0.10, &bad)
+	if len(bad) != 0 {
+		t.Errorf("nil prev: got %v", bad)
+	}
+}
+
+// TestLastHistoryEntry reads the final non-empty line and tolerates a
+// missing file.
+func TestLastHistoryEntry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.jsonl")
+	if e, err := lastHistoryEntry(path); err != nil || e != nil {
+		t.Fatalf("missing file: got %v, %v", e, err)
+	}
+	data := `{"time":"t1","metrics":{"a:speedup_x":1}}
+{"time":"t2","metrics":{"a:speedup_x":2}}
+
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := lastHistoryEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || e.Time != "t2" || e.Metrics["a:speedup_x"] != 2 {
+		t.Fatalf("got %+v, want the t2 entry", e)
+	}
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lastHistoryEntry(path); err == nil {
+		t.Fatal("corrupt history: want error")
+	}
+}
