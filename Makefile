@@ -28,8 +28,9 @@ vet:
 # compiled simulator kernel vs the reference interpreter, the optimization
 # server under concurrent load (cold store vs warm), the multi-core
 # task-graph solve with serial-vs-parallel schedule execution, and the
-# sharded-store scenario matrix (binary vs JSON warm reads, pooled replay
-# allocations). bench-all runs everything.
+# sharded-store scenario matrix (binary vs JSON warm reads, zero-copy mmap
+# vs copying reads, replay over a live mapping, batched vs plain puts, pooled
+# replay allocations). bench-all runs everything.
 bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkMILPSerial|BenchmarkMILPParallel|BenchmarkMILPAnalyticBound|BenchmarkPipelineColdVsWarm|BenchmarkProfileCollect|BenchmarkSimCompiledKernel|BenchmarkServeLatency|BenchmarkServeThroughput|BenchmarkTaskGraphSolve|BenchmarkStoreScenarioMatrix)$$' -benchmem .
 

@@ -1402,6 +1402,16 @@ type storeBenchRecord struct {
 	JSONAllocsOp  float64 `json:"json_warm_read_allocs_per_op"`
 	Speedup       float64 `json:"speedup_binary_vs_json"`
 	SpeedupFloor  float64 `json:"speedup_binary_vs_json_floor"`
+	// Zero-copy mapped reads over the identical cells: Store.ReadMapped hands
+	// the decoder a page-cache-backed mapping, borrow-mode decode aliases the
+	// trace and bitstream words in place instead of copying them, Release
+	// unmaps. Gated against the copying binary path above.
+	MmapNsOp         float64 `json:"mmap_read_ns_per_op"`
+	MmapBytesOp      float64 `json:"mmap_read_bytes_per_op"`
+	MmapAllocsOp     float64 `json:"mmap_read_allocs_per_op"`
+	MmapAllocsCeil   float64 `json:"mmap_read_allocs_ceiling"`
+	MmapSpeedup      float64 `json:"speedup_mmap_vs_copy"`
+	MmapSpeedupFloor float64 `json:"speedup_mmap_vs_copy_floor"`
 	// Full warm cell path, read through replay: the legacy shape (JSON read,
 	// then sparse count maps derived per replayed result, the seed's hot
 	// path) against the lean shape (binary read, pooled dense replay).
@@ -1416,7 +1426,19 @@ type storeBenchRecord struct {
 	ReplayNsOp       float64 `json:"replay_ns_per_op"`
 	ReplayAllocsOp   float64 `json:"replay_allocs_per_op"`
 	ReplayAllocsCeil float64 `json:"replay_allocs_ceiling"`
-	BitIdentical     bool    `json:"bit_identical"`
+	// The same 7-mode replay over a borrow-decoded recording whose trace still
+	// lives in the mapping: zero-copy reads must not trade their savings for
+	// replay-time allocations, so the mapped replay shares the copying
+	// ceiling.
+	MappedReplayNsOp       float64 `json:"mapped_replay_ns_per_op"`
+	MappedReplayAllocsOp   float64 `json:"mapped_replay_allocs_per_op"`
+	MappedReplayAllocsCeil float64 `json:"mapped_replay_allocs_ceiling"`
+	// Put cost, plain vs coalesced (final Flush included). The batcher pays
+	// per-batch shard fsyncs the plain path skips entirely, so these are cost
+	// observations for the record, deliberately not a gated speedup.
+	PlainPutNsOp   float64 `json:"put_ns_per_op"`
+	BatchedPutNsOp float64 `json:"batched_put_ns_per_op"`
+	BitIdentical   bool    `json:"bit_identical"`
 }
 
 // The committed perf claims of BENCH_store.json (benchcheck enforces them):
@@ -1430,6 +1452,13 @@ const (
 	storeBenchAllocsRatioFloor = 5.0
 	storeBenchBinAllocsCeil    = 64
 	storeBenchReplayAllocsCeil = 16
+	// Mapped reads beat copying binary reads by ≥1.3x: no read(2) of the
+	// payload, no decode-time copies of the word runs, and most trace pages
+	// are never even faulted until a replay touches them.
+	storeBenchMmapSpeedupFloor = 1.3
+	// A mapped read allocates only decoder scaffolding (reader, recording,
+	// identity strings) — never payload-sized buffers.
+	storeBenchMmapAllocsCeil = 32
 )
 
 // BenchmarkStoreScenarioMatrix measures the artifact store on a fleet-scale
@@ -1482,6 +1511,13 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 		}
 		if !reflect.DeepEqual(fromJSON, fromBin) {
 			b.Fatalf("%s: binary and JSON recording decodes disagree", spec.Name)
+		}
+		fromMapped, err := schedfile.DecodeRecordingBinaryMapped(bdata, spec.Program, spec.Inputs[0], simCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromBin, fromMapped) {
+			b.Fatalf("%s: borrow-mode and copying binary decodes disagree", spec.Name)
 		}
 		arts[w] = workloadArt{jdata: jdata, bdata: bdata}
 	}
@@ -1553,6 +1589,25 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 		return rec
 	}
 
+	// readCellMapped is the zero-copy variant of one warm op: mmap the
+	// artifact, decode it in borrow mode (aliasing the mapping), unmap. The
+	// decoded recording dies with the mapping, exactly the shape of a warm
+	// read that turns out to be a cache hit nobody replays.
+	readCellMapped := func(tb *testing.B, i int) {
+		c := cells[i%len(cells)]
+		spec := specs[c.w]
+		m, format, ok, err := binStore.ReadMapped(pipeline.StageRecording, c.key)
+		if err != nil || !ok || format != pipeline.FormatBinary {
+			tb.Fatalf("cell %d: mapped read ok=%v f=%v err=%v", i, ok, format, err)
+		}
+		if _, err := schedfile.DecodeRecordingBinaryMapped(m.Bytes(), spec.Program, spec.Inputs[0], simCfg); err != nil {
+			tb.Fatal(err)
+		}
+		if err := m.Release(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+
 	// measure times a fixed-iteration loop and reads allocation deltas from
 	// runtime.MemStats (testing.Benchmark cannot run inside a benchmark — it
 	// would deadlock on the global benchmark lock). Each caller warms the
@@ -1588,6 +1643,10 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 		readCell(b, binStore, i)
 	}
 	binRes := measure(matrixIters, func(i int) { readCell(b, binStore, i) })
+	for i := 0; i < len(cells); i++ {
+		readCellMapped(b, i)
+	}
+	mmapRes := measure(matrixIters, func(i int) { readCellMapped(b, i) })
 
 	var gsmIdx int
 	for w, spec := range specs {
@@ -1607,6 +1666,83 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 	}
 	replay(0) // warm-up (layout cache, scratch pool)
 	replayRes := measure(200, replay)
+
+	// The same replay over a live mapping: borrow-mode decode, then 7-mode
+	// replays whose trace reads fault straight into the page cache. Results
+	// must be bit-identical to the copying recording's replays.
+	gsmCell := cells[gsmIdx]
+	gsmSpec := specs[gsmCell.w]
+	mapping, mf, ok, err := binStore.ReadMapped(pipeline.StageRecording, gsmCell.key)
+	if err != nil || !ok || mf != pipeline.FormatBinary {
+		b.Fatalf("mapped replay read: ok=%v f=%v err=%v", ok, mf, err)
+	}
+	defer mapping.Release()
+	mappedRec, err := schedfile.DecodeRecordingBinaryMapped(mapping.Bytes(), gsmSpec.Program, gsmSpec.Inputs[0], simCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mappedRec.Bind(gsmSpec.Program); err != nil {
+		b.Fatal(err)
+	}
+	wantReplay, err := replayRec.ReplayAll(modes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gotReplay, err := mappedRec.ReplayAll(modes) // doubles as warm-up
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantReplay, gotReplay) {
+		b.Fatal("replay over the mapped recording differs from the copying path")
+	}
+	mappedReplayRes := measure(200, func(int) {
+		if _, err := mappedRec.ReplayAll(modes); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Put cost, plain vs coalesced: fresh stores, unique keys, the workload-0
+	// binary payload. The batched pass ends with a Flush so every shard fsync
+	// its batches pay is inside the measurement.
+	const nPuts = 256
+	putPayload := arts[0].bdata
+	putKey := func(tag string, i int) pipeline.Key {
+		return pipeline.NewKey(pipeline.StageRecording).Str("put", fmt.Sprintf("%s-%d", tag, i)).Sum()
+	}
+	mkPutStore := func(batched bool) (*pipeline.Store, func()) {
+		dir, err := os.MkdirTemp("", "ctdvs-store-bench-put")
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := pipeline.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			b.Fatal(err)
+		}
+		if batched {
+			st.EnableWriteBatching(pipeline.BatchConfig{})
+		}
+		return st, func() { os.RemoveAll(dir) }
+	}
+	plainStore, cleanPlain := mkPutStore(false)
+	defer cleanPlain()
+	plainPutRes := measure(nPuts, func(i int) {
+		if err := plainStore.Put(pipeline.StageRecording, putKey("plain", i), putPayload, pipeline.FormatBinary); err != nil {
+			b.Fatal(err)
+		}
+	})
+	batchStore, cleanBatch := mkPutStore(true)
+	defer cleanBatch()
+	batchPutRes := measure(nPuts, func(i int) {
+		if err := batchStore.Put(pipeline.StageRecording, putKey("batch", i), putPayload, pipeline.FormatBinary); err != nil {
+			b.Fatal(err)
+		}
+		if i == nPuts-1 {
+			if err := batchStore.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// Full warm cell path, read through replay. The legacy shape is what the
 	// warm path cost before dense counts and the binary codec: a JSON store
@@ -1667,6 +1803,12 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 		JSONAllocsOp:       jsonRes.allocsOp,
 		Speedup:            jsonRes.nsOp / binNs,
 		SpeedupFloor:       storeBenchSpeedupFloor,
+		MmapNsOp:           mmapRes.nsOp,
+		MmapBytesOp:        mmapRes.bytesOp,
+		MmapAllocsOp:       mmapRes.allocsOp,
+		MmapAllocsCeil:     storeBenchMmapAllocsCeil,
+		MmapSpeedup:        binRes.nsOp / mmapRes.nsOp,
+		MmapSpeedupFloor:   storeBenchMmapSpeedupFloor,
 		LegacyPathNsOp:     legacyRes.nsOp,
 		LegacyPathAllocsOp: legacyRes.allocsOp,
 		LeanPathNsOp:       leanRes.nsOp,
@@ -1676,11 +1818,19 @@ func BenchmarkStoreScenarioMatrix(b *testing.B) {
 		ReplayNsOp:         replayRes.nsOp,
 		ReplayAllocsOp:     replayRes.allocsOp,
 		ReplayAllocsCeil:   storeBenchReplayAllocsCeil,
-		BitIdentical:       true,
+
+		MappedReplayNsOp:       mappedReplayRes.nsOp,
+		MappedReplayAllocsOp:   mappedReplayRes.allocsOp,
+		MappedReplayAllocsCeil: storeBenchReplayAllocsCeil,
+		PlainPutNsOp:           plainPutRes.nsOp,
+		BatchedPutNsOp:         batchPutRes.nsOp,
+		BitIdentical:           true,
 	}
 	b.ReportMetric(rec.Speedup, "speedup-binary-vs-json")
+	b.ReportMetric(rec.MmapSpeedup, "speedup-mmap-vs-copy")
 	b.ReportMetric(rec.AllocsRatio, "allocs-speedup-legacy-vs-lean")
 	b.ReportMetric(rec.ReplayAllocsOp, "replay-allocs/op")
+	b.ReportMetric(rec.MappedReplayAllocsOp, "mapped-replay-allocs/op")
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		b.Fatal(err)

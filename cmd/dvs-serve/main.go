@@ -42,15 +42,19 @@ func main() {
 	queue := flag.Int("queue", 16, "requests allowed to wait for a worker before 429")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request wall-time limit (0 = none; requests may override with timeout_ms)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	storeBudget := flag.Int64("store-budget-bytes", 0, "compact the artifact store to this size periodically, evicting LRU artifacts (0 = never; see dvs-cache for offline compaction)")
+	compactEvery := flag.Duration("compact-interval", time.Minute, "cadence of the store compaction pass when -store-budget-bytes is set")
 	app.Parse()
 
 	srv := serve.New(app.Config(), serve.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SolveLimit:     app.SolveLimit,
-		SolveWorkers:   app.Workers,
-		RequestTimeout: *reqTimeout,
-		RetryAfter:     *retryAfter,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SolveLimit:       app.SolveLimit,
+		SolveWorkers:     app.Workers,
+		RequestTimeout:   *reqTimeout,
+		RetryAfter:       *retryAfter,
+		StoreBudgetBytes: *storeBudget,
+		CompactInterval:  *compactEvery,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

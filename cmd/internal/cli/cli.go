@@ -35,6 +35,13 @@ type App struct {
 	NoCache    bool
 	Manifest   string
 
+	// CacheMmap enables zero-copy mmap reads of binary artifacts (on by
+	// default where the platform supports it); CacheWriteBatch coalesces
+	// artifact writes into per-shard directory-sync batches, flushed at
+	// Close. Both are escape hatches more than tunables.
+	CacheMmap       bool
+	CacheWriteBatch bool
+
 	// PerModeProfile disables the record-once/replay-per-mode profiling path
 	// and simulates every mode of every profile instead. The numbers are
 	// bit-identical either way; the flag exists for cross-checking and for
@@ -72,6 +79,10 @@ func New(name string) *App {
 		"ignore -cache-dir and recompute everything (artifacts stay in memory for this run)")
 	flag.StringVar(&a.Manifest, "manifest", "",
 		"write a JSON run manifest (per-stage cache hits, misses and timings) to this file")
+	flag.BoolVar(&a.CacheMmap, "cache-mmap", true,
+		"read binary artifacts zero-copy through mmap where the platform supports it (decoded values are identical either way)")
+	flag.BoolVar(&a.CacheWriteBatch, "cache-write-batch", true,
+		"coalesce artifact writes into per-shard batches with one directory sync each (still crash-safe; flushed at exit)")
 	flag.BoolVar(&a.PerModeProfile, "per-mode-profile", false,
 		"simulate every mode when profiling instead of recording one event stream and replaying it (bit-identical, slower)")
 	flag.BoolVar(&a.ReferenceSim, "reference-sim", false,
@@ -125,6 +136,10 @@ func (a *App) Runner() *pipeline.Runner {
 			if err != nil {
 				a.Die(err)
 			}
+			s.SetMappedReads(a.CacheMmap)
+			if a.CacheWriteBatch {
+				s.EnableWriteBatching(pipeline.BatchConfig{})
+			}
 			store = s
 		}
 		a.runner = pipeline.NewRunner(store)
@@ -148,10 +163,18 @@ func (a *App) Config() *exp.Config {
 	return c
 }
 
-// Close finishes the run's bookkeeping: it stops the CPU profile, writes the
-// heap profile, and writes the run manifest, each only if the corresponding
-// flag was given. Call it once, after the command's work is done.
+// Close finishes the run's bookkeeping: it flushes batched store writes and
+// the store's access-time index, stops the CPU profile, writes the heap
+// profile, and writes the run manifest, each only if the corresponding flag
+// was given. Call it once, after the command's work is done.
 func (a *App) Close() {
+	if a.runner != nil {
+		if store := a.runner.Store(); store != nil {
+			if err := store.Close(); err != nil {
+				a.Die(err)
+			}
+		}
+	}
 	if a.cpuProf != nil {
 		pprof.StopCPUProfile()
 		if err := a.cpuProf.Close(); err != nil {

@@ -2,7 +2,12 @@ package exp
 
 import (
 	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"ctdvs/internal/pipeline"
 	"ctdvs/internal/profile"
@@ -230,4 +235,122 @@ func TestInfeasibleSolveCached(t *testing.T) {
 	if s := b.Pipeline.Manifest().Stats()[pipeline.StageSolve]; s.Misses != 0 || s.DiskHits != 1 {
 		t.Errorf("infeasible solve was not served from cache: %+v", s)
 	}
+}
+
+// TestWarmRunAfterCompaction is the eviction-safety acceptance property: a
+// store compacted under a budget that only sheds JSON twins of binary
+// artifacts still serves a fully warm sweep — AllHits, zero recomputes,
+// bit-identical output.
+func TestWarmRunAfterCompaction(t *testing.T) {
+	jsonDir, binDir := t.TempDir(), t.TempDir()
+
+	// Cold run against a JSON-format store, then the same run against a
+	// binary store, then overlay the binary artifacts onto the JSON tree:
+	// every key now has a .bin plus its .json twin, the shape a fleet cache
+	// grows while migrating codecs.
+	jsonStore, err := pipeline.OpenWithFormat(jsonDir, pipeline.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := testConfig()
+	cold.Pipeline = pipeline.NewRunner(jsonStore)
+	coldRows, err := DeadlineSweep(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut := renderSweep(t, zeroSolveTimes(coldRows))
+
+	binCfg := cachedConfig(t, binDir)
+	if _, err := DeadlineSweep(binCfg); err != nil {
+		t.Fatal(err)
+	}
+	twins := 0
+	err = filepath.WalkDir(binDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".bin") {
+			return err
+		}
+		rel, err := filepath.Rel(binDir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		twins++
+		return os.WriteFile(filepath.Join(jsonDir, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twins == 0 {
+		t.Fatal("binary run produced no binary artifacts")
+	}
+
+	// Budget: everything except the JSON twins. Compact must satisfy it by
+	// evicting exactly those, leaving every binary artifact in place.
+	store, err := pipeline.Open(jsonDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twinBytes int64
+	err = filepath.WalkDir(jsonDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		if info, err := os.Stat(strings.TrimSuffix(path, ".json") + ".bin"); err == nil && info != nil {
+			if fi, err := d.Info(); err == nil {
+				twinBytes += fi.Size()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Compact(ds.TotalBytes - twinBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EvictedJSONTwins == 0 || st.EvictedJSONTwins != st.EvictedArtifacts {
+		t.Fatalf("compact stats = %+v, want only JSON twins evicted", st)
+	}
+	if st.BytesAfter > st.BudgetBytes {
+		t.Fatalf("compact left the store over budget: %+v", st)
+	}
+
+	// The compacted store serves a fully warm sweep from the surviving
+	// binary artifacts: AllHits for every retained kind, identical output.
+	warm := testConfig()
+	warm.Pipeline = pipeline.NewRunner(store)
+	warmRows, err := DeadlineSweep(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := warm.Pipeline.Manifest()
+	if !man.AllHits() {
+		for _, r := range man.Records() {
+			if r.Misses > 0 {
+				t.Errorf("post-compact warm run recomputed %s %s: %d misses", r.Stage, r.Key[:12], r.Misses)
+			}
+		}
+	}
+	if warmOut := renderSweep(t, zeroSolveTimes(warmRows)); !bytes.Equal(coldOut, warmOut) {
+		t.Error("post-compact warm output differs from the cold run")
+	}
+}
+
+// zeroSolveTimes strips the one nondeterministic column (solver wall time,
+// which the two independent cold runs measure differently) so the remaining
+// output can be compared bit for bit.
+func zeroSolveTimes(rows []DeadlineSweepRow) []DeadlineSweepRow {
+	out := append([]DeadlineSweepRow(nil), rows...)
+	for i := range out {
+		out[i].SolveTime = [5]time.Duration{}
+	}
+	return out
 }

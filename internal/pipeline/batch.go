@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// BatchConfig tunes the per-shard write coalescer. Zero values take the
+// defaults.
+type BatchConfig struct {
+	// MaxPending flushes the batch once this many artifacts are buffered.
+	// Default 32.
+	MaxPending int
+	// MaxDelay bounds how long a buffered artifact waits before its batch
+	// flushes, the visibility window other processes see. Default 5ms.
+	MaxDelay time.Duration
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxPending <= 0 {
+		c.MaxPending = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5 * time.Millisecond
+	}
+	return c
+}
+
+// EnableWriteBatching switches the store's Puts to the write coalescer:
+// solve-storm artifacts accumulate in memory and flush as one batch per
+// shard — every artifact still lands via its own temp file + rename (the
+// crash-safety protocol is unchanged: an artifact is fully present or
+// absent, never torn), but the directory fsyncs that make the batch durable
+// are paid once per touched shard instead of once per artifact. Reads
+// through this store see pending artifacts immediately; other processes see
+// them within MaxDelay. Call Flush or Close to force everything to disk
+// (Close also happens via cli.App teardown).
+func (s *Store) EnableWriteBatching(cfg BatchConfig) {
+	if s.batch != nil {
+		return
+	}
+	cfg = cfg.withDefaults()
+	s.batch = &writeBatcher{s: s, cfg: cfg, pending: make(map[string]pendingPut)}
+}
+
+// Flush writes every pending batched artifact to disk now. A no-op without
+// batching.
+func (s *Store) Flush() error {
+	if s.batch == nil {
+		return nil
+	}
+	return s.batch.flush()
+}
+
+// Close flushes pending batched writes, stops the batcher's timer, and
+// persists the access-time sidecar index Compact evicts by. The store
+// remains usable afterwards (later Puts write through immediately).
+func (s *Store) Close() error {
+	var errs []error
+	if b := s.batch; b != nil {
+		errs = append(errs, b.close())
+		s.batch = nil
+	}
+	errs = append(errs, s.SaveAtimeIndex())
+	return errors.Join(errs...)
+}
+
+// pendingPut is one buffered artifact awaiting its batch flush.
+type pendingPut struct {
+	kind   Kind
+	key    Key
+	data   []byte
+	format Format
+}
+
+// writeBatcher coalesces Puts. Buffered artifacts are visible to reads via
+// getPending, so in-process read-your-writes holds regardless of flush
+// timing; the flush itself swaps the pending set out under the lock and does
+// its disk work outside it, so readers and new writers never block on I/O.
+type writeBatcher struct {
+	s   *Store
+	cfg BatchConfig
+
+	mu      sync.Mutex
+	pending map[string]pendingPut // keyed by "kind/key.ext"
+	timer   *time.Timer
+	err     error // sticky first background-flush error, surfaced on the next call
+	closed  bool
+}
+
+func pendingKey(kind Kind, key Key, f Format) string {
+	return string(kind) + "/" + string(key) + f.ext()
+}
+
+// getPending returns a buffered artifact's bytes, preferring binary like the
+// disk paths. Safe on a nil batcher. The returned slice is the buffered one;
+// callers copy.
+func (b *writeBatcher) getPending(kind Kind, key Key) ([]byte, Format, bool) {
+	if b == nil {
+		return nil, FormatJSON, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, f := range [...]Format{FormatBinary, FormatJSON} {
+		if p, ok := b.pending[pendingKey(kind, key, f)]; ok {
+			return p.data, f, true
+		}
+	}
+	return nil, FormatJSON, false
+}
+
+// put buffers one artifact, flushing synchronously when the batch is full
+// and arming the deadline timer otherwise. The data slice is retained until
+// the flush; pipeline encoders hand over freshly built buffers, so no copy
+// is taken.
+func (b *writeBatcher) put(kind Kind, key Key, data []byte, f Format) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.s.putNow(kind, key, data, f)
+	}
+	if err := b.err; err != nil {
+		b.err = nil
+		b.mu.Unlock()
+		return err
+	}
+	b.pending[pendingKey(kind, key, f)] = pendingPut{kind: kind, key: key, data: data, format: f}
+	if len(b.pending) >= b.cfg.MaxPending {
+		batch := b.take()
+		b.mu.Unlock()
+		return b.writeBatch(batch)
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.cfg.MaxDelay, b.deadlineFlush)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// take swaps out the pending set and disarms the timer; callers hold mu.
+func (b *writeBatcher) take() map[string]pendingPut {
+	batch := b.pending
+	b.pending = make(map[string]pendingPut)
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// deadlineFlush is the timer callback; its error is surfaced on the next
+// Put/Flush/Close since nobody is waiting on the timer goroutine.
+func (b *writeBatcher) deadlineFlush() {
+	if err := b.flush(); err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+}
+
+func (b *writeBatcher) flush() error {
+	b.mu.Lock()
+	err := b.err
+	b.err = nil
+	batch := b.take()
+	b.mu.Unlock()
+	if werr := b.writeBatch(batch); err == nil {
+		err = werr
+	}
+	return err
+}
+
+func (b *writeBatcher) close() error {
+	b.mu.Lock()
+	b.closed = true
+	err := b.err
+	b.err = nil
+	batch := b.take()
+	b.mu.Unlock()
+	if werr := b.writeBatch(batch); err == nil {
+		err = werr
+	}
+	return err
+}
+
+// writeBatch lands one batch: every artifact via the store's usual temp file
+// + rename, then one directory fsync per touched shard so the whole batch's
+// directory entries are durable at a per-batch, not per-artifact, cost.
+func (b *writeBatcher) writeBatch(batch map[string]pendingPut) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	var errs []error
+	shards := make(map[string]struct{})
+	for _, p := range batch {
+		if err := b.s.putNow(p.kind, p.key, p.data, p.format); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		shards[filepath.Join(b.s.dir, string(p.kind), string(p.key[:2]))] = struct{}{}
+	}
+	for dir := range shards {
+		if err := syncDir(dir); err != nil {
+			errs = append(errs, fmt.Errorf("pipeline: sync shard %s: %w", dir, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// syncDir fsyncs a directory so freshly renamed entries survive a crash.
+// Filesystems that cannot fsync directories report nothing to act on, so
+// sync errors on an otherwise healthy open are swallowed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}

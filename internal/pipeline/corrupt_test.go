@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"os"
+	"testing"
+)
+
+// corruptBin is a frame with a valid header and a garbage payload: it passes
+// the store's format sniff and fails only in the stage decoder.
+var corruptBin = append([]byte{'C', 'T', 'D', 'B', BinVersion, BinTagProfile}, 0xFF, 0xFF, 0xFF)
+
+// TestLoadArtifactDeletesCorruptBinary is the regression test for the warm
+// read path: a damaged binary artifact must not only fall back to the JSON
+// twin, it must be deleted so the next warm read stops paying a doomed
+// decode — through both the mapped and the copying read paths.
+func TestLoadArtifactDeletesCorruptBinary(t *testing.T) {
+	for _, mapped := range []bool{true, false} {
+		name := "copying"
+		if mapped {
+			name = "mapped"
+		}
+		t.Run(name, func(t *testing.T) {
+			store, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			store.SetMappedReads(mapped)
+			if mapped && !store.MappedReads() {
+				t.Skip("no mmap on this platform")
+			}
+			st := binIntStage(StageSolve)
+			key := testKey("corrupt-bin", name)
+			if err := store.Put(StageSolve, key, corruptBin, FormatBinary); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Put(StageSolve, key, []byte("7"), FormatJSON); err != nil {
+				t.Fatal(err)
+			}
+
+			r := NewRunner(store)
+			v, err := Run(r, st, key, func() (int, error) {
+				t.Error("recompute ran despite a valid JSON twin")
+				return -1, nil
+			})
+			if err != nil || v != 7 {
+				t.Fatalf("v=%d err=%v, want the JSON fallback value", v, err)
+			}
+			if !r.Manifest().AllHits() {
+				t.Errorf("fallback read recorded a miss: %+v", r.Manifest().Records())
+			}
+			binPath := store.Path(StageSolve, key, FormatBinary)
+			if _, err := os.Stat(binPath); !os.IsNotExist(err) {
+				t.Error("corrupt binary artifact still on disk after fallback")
+			}
+		})
+	}
+}
+
+// TestLoadArtifactCorruptBinaryNoTwinRecomputes: with no JSON fallback the
+// damaged binary is a miss; the recompute overwrites it with a good one.
+func TestLoadArtifactCorruptBinaryNoTwinRecomputes(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := binIntStage(StageSolve)
+	key := testKey("corrupt-bin-solo")
+	if err := store.Put(StageSolve, key, corruptBin, FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(store)
+	v, err := Run(r, st, key, func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	// The rewrite is good: a fresh runner over the same store disk-hits.
+	r2 := NewRunner(store)
+	v, err = Run(r2, st, key, func() (int, error) { return -1, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("warm v=%d err=%v", v, err)
+	}
+	if !r2.Manifest().AllHits() {
+		t.Errorf("rewritten artifact missed: %+v", r2.Manifest().Records())
+	}
+}
+
+// TestRunnerMappedDiskWarm: the end-to-end mapped warm path — a fresh runner
+// with mapped reads decodes the artifact written by a cold run, zero-copy,
+// to the same value.
+func TestRunnerMappedDiskWarm(t *testing.T) {
+	dir := t.TempDir()
+	st := binIntStage(StageSolve)
+	key := testKey("mapped-warm")
+
+	cold, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(NewRunner(cold), st, key, func() (int, error) { return 31, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.MappedReads() && mmapSupported {
+		t.Fatal("mapped reads off by default")
+	}
+	r := NewRunner(warm)
+	v, err := Run(r, st, key, func() (int, error) { return -1, nil })
+	if err != nil || v != 31 {
+		t.Fatalf("mapped warm v=%d err=%v", v, err)
+	}
+	if !r.Manifest().AllHits() {
+		t.Errorf("mapped warm read missed: %+v", r.Manifest().Records())
+	}
+}

@@ -45,7 +45,7 @@ func TestKeyChangesWithAnyField(t *testing.T) {
 			Str("bench", "mpeg").Str("input", "decode").Int("levels", 13).Float("scale", 0.02).Sum(),
 		"float": NewKey(StageProfile).
 			Str("bench", "mpeg").Str("input", "decode").Int("levels", 7).Float("scale", 0.1).Sum(),
-		"extra bool": goldenBuilder().Bool("filtered", true).Sum(),
+		"extra bool":   goldenBuilder().Bool("filtered", true).Sum(),
 		"extra floats": goldenBuilder().Floats("weights", []float64{0.5, 0.5}).Sum(),
 	}
 	seen := map[Key]string{base: "base"}

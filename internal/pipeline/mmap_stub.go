@@ -1,0 +1,19 @@
+//go:build !unix
+
+package pipeline
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported gates the store's mapped read mode; without mmap every
+// ReadMapped silently falls back to a copying read, which decodes to
+// byte-identical values.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("pipeline: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package pipeline
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map artifacts. On
+// unix builds the store's mapped read mode is on by default.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f as a private copy-on-write mapping. PRIVATE
+// plus PROT_WRITE means a consumer that mutates a borrowed slice faults a
+// private page instead of corrupting the store (or crashing on a read-only
+// mapping); the file itself is never written through the map.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

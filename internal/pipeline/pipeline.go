@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 )
@@ -23,6 +24,7 @@ import (
 //
 // Decode and DecodeBinary are handed buffers the runner may reuse for the
 // next read: they must not retain or alias their input past the call.
+// DecodeMapped is the one exception — see its comment.
 type Stage[T any] struct {
 	Kind   Kind
 	Encode func(T) ([]byte, error)
@@ -31,6 +33,15 @@ type Stage[T any] struct {
 	// EncodeBinary/DecodeBinary, when non-nil, are the stage's binary codec.
 	EncodeBinary func(T) ([]byte, error)
 	DecodeBinary func([]byte) (T, error)
+
+	// DecodeMapped, when non-nil, is the stage's zero-copy binary decoder:
+	// the runner hands it an mmap'd page-cache-backed view of the artifact
+	// (never a pooled buffer) and the decoded value MAY alias it. The
+	// mapping then lives exactly as long as the decoded value — which the
+	// runner's slot cache retains for the process lifetime, so nothing is
+	// ever unmapped underneath a borrowed slice. Must decode to values
+	// byte-identical to DecodeBinary's (asserted by property tests).
+	DecodeMapped func([]byte) (T, error)
 }
 
 // slot is the in-memory singleflight cell for one (kind, key): concurrent
@@ -237,13 +248,23 @@ func resolve[T any](ctx context.Context, r *Runner, st Stage[T], key Key, comput
 	return v, nil
 }
 
-// loadArtifact reads and decodes the stored artifact for (stage, key) through
-// a pooled buffer, trying the preferred stored format first. A binary
-// artifact that fails to decode (truncated, corrupt, wrong tag, or the stage
-// has no binary codec) falls back to the JSON artifact when one exists;
-// when everything fails the caller treats the key as a miss and recomputes —
-// a damaged cache entry can cost work, never correctness.
+// loadArtifact reads and decodes the stored artifact for (stage, key),
+// trying the preferred stored format first. Stages with a mapped decoder
+// read zero-copy through an mmap'd view when the store allows it; everything
+// else goes through a pooled buffer. A binary artifact that fails to decode
+// (truncated, corrupt, wrong version or tag) is deleted — it would otherwise
+// be retried and fail on every warm read — and the JSON artifact, when one
+// exists, serves as the fallback; when everything fails the caller treats
+// the key as a miss and recomputes. A damaged cache entry can cost work,
+// never correctness.
 func loadArtifact[T any](r *Runner, st Stage[T], key Key) (v T, path string, ok bool) {
+	if st.DecodeMapped != nil && r.store.MappedReads() {
+		if v, path, ok, handled := loadArtifactMapped(r, st, key); handled {
+			return v, path, ok
+		}
+		// The mapped binary was corrupt (and has been deleted): retry below
+		// against whatever remains, normally the JSON fallback.
+	}
 	buf := r.store.acquireBuf()
 	defer func() { r.store.releaseBuf(buf) }()
 	data, format, found, err := r.store.getAppend(buf, st.Kind, key)
@@ -256,6 +277,9 @@ func loadArtifact[T any](r *Runner, st Stage[T], key Key) (v T, path string, ok 
 			if dv, derr := st.DecodeBinary(data); derr == nil {
 				return dv, r.store.Path(st.Kind, key, FormatBinary), true
 			}
+			// Corrupt or stale-format binary: delete it so warm reads stop
+			// paying a doomed decode before every JSON fallback.
+			os.Remove(r.store.Path(st.Kind, key, FormatBinary))
 		}
 		jpath := r.store.Path(st.Kind, key, FormatJSON)
 		jdata, jfound, jerr := readAppend(buf, jpath)
@@ -272,6 +296,33 @@ func loadArtifact[T any](r *Runner, st Stage[T], key Key) (v T, path string, ok 
 		return dv, path, true
 	}
 	return v, "", false
+}
+
+// loadArtifactMapped is loadArtifact's zero-copy front: the artifact is
+// mmap'd and decoded in place, and on success the mapping is deliberately
+// never released — the decoded value aliases it and lives in the runner's
+// slot cache for the process lifetime, backed by the page cache rather than
+// the heap. handled is false only when a corrupt mapped binary was deleted
+// and the caller should retry the copying path (for the JSON fallback).
+func loadArtifactMapped[T any](r *Runner, st Stage[T], key Key) (v T, path string, ok, handled bool) {
+	m, format, found, err := r.store.ReadMapped(st.Kind, key)
+	if err != nil || !found {
+		return v, "", false, true
+	}
+	if format == FormatBinary {
+		if dv, derr := st.DecodeMapped(m.Bytes()); derr == nil {
+			return dv, r.store.Path(st.Kind, key, FormatBinary), true, true
+		}
+		m.Release()
+		os.Remove(r.store.Path(st.Kind, key, FormatBinary))
+		return v, "", false, false
+	}
+	dv, derr := st.Decode(m.Bytes())
+	m.Release() // JSON decoders never alias their input
+	if derr == nil {
+		return dv, r.store.Path(st.Kind, key, FormatJSON), true, true
+	}
+	return v, "", false, true
 }
 
 // Observe times an uncached stage (filter, formulate) and records it in the

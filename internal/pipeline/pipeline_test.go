@@ -225,9 +225,9 @@ func TestManifestJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		Version int                `json:"version"`
+		Version int                  `json:"version"`
 		Summary map[string]KindStats `json:"summary"`
-		Records []StageRecord      `json:"records"`
+		Records []StageRecord        `json:"records"`
 	}
 	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
 		t.Fatalf("manifest not valid JSON: %v\n%s", err, buf.String())

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Format identifies the on-disk encoding of one artifact file.
@@ -74,6 +76,25 @@ type Store struct {
 	// bufs pools read buffers for getAppend. Entries are *[]byte so Put/Get
 	// of the pool itself does not allocate.
 	bufs sync.Pool
+
+	// mapped enables ReadMapped-backed zero-copy reads in the runner for
+	// stages with a mapped decoder. On by default where mmap exists.
+	mapped bool
+
+	// atimes records last-access seconds per artifact, the LRU signal
+	// Compact evicts by. Second granularity keeps the steady state to a
+	// read-locked map lookup; SaveAtimeIndex persists it to the sidecar.
+	atimes atimeTable
+
+	// batch, when enabled, coalesces Puts into per-shard directory-sync
+	// batches; nil means every Put writes through immediately.
+	batch *writeBatcher
+
+	// Eviction gauges, exported on /statsz: lifetime totals for this
+	// process's Compact calls.
+	compactions      atomic.Int64
+	evictedArtifacts atomic.Int64
+	evictedBytes     atomic.Int64
 }
 
 // Open creates (if needed) and returns the store rooted at dir, writing
@@ -92,7 +113,7 @@ func OpenWithFormat(dir string, write Format) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pipeline: open store: %w", err)
 	}
-	return &Store{dir: dir, write: write}, nil
+	return &Store{dir: dir, write: write, mapped: mmapSupported}, nil
 }
 
 // Dir returns the store's root directory.
@@ -100,6 +121,49 @@ func (s *Store) Dir() string { return s.dir }
 
 // WriteFormat returns the store's preferred write format.
 func (s *Store) WriteFormat() Format { return s.write }
+
+// SetMappedReads toggles the zero-copy mapped read mode the runner uses for
+// stages with a mapped decoder. It defaults to on where mmap exists; turning
+// it off forces every read through the copying pooled-buffer path.
+func (s *Store) SetMappedReads(on bool) { s.mapped = on && mmapSupported }
+
+// MappedReads reports whether mapped reads are enabled.
+func (s *Store) MappedReads() bool { return s.mapped }
+
+// touch records an artifact access at second granularity — the LRU signal
+// Compact evicts by. The steady state (same artifact, same second) is a
+// read-locked map lookup with no allocation, so hot read paths can afford
+// it.
+func (s *Store) touch(kind Kind, key Key) {
+	now := time.Now().Unix()
+	t := &s.atimes
+	t.mu.RLock()
+	cur, ok := t.m[kind][key]
+	t.mu.RUnlock()
+	if ok && cur >= now {
+		return
+	}
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[Kind]map[Key]int64)
+	}
+	km := t.m[kind]
+	if km == nil {
+		km = make(map[Key]int64)
+		t.m[kind] = km
+	}
+	if km[key] < now {
+		km[key] = now
+	}
+	t.mu.Unlock()
+}
+
+// atimeTable is the in-memory half of the access index: last-access unix
+// seconds per (kind, key), merged with the on-disk sidecar by Compact.
+type atimeTable struct {
+	mu sync.RWMutex
+	m  map[Kind]map[Key]int64
+}
 
 // Path returns the artifact path for (kind, key) in the given format without
 // touching the disk.
@@ -115,9 +179,13 @@ func (s *Store) Get(kind Kind, key Key) ([]byte, Format, bool, error) {
 	if err := key.Validate(); err != nil {
 		return nil, FormatJSON, false, err
 	}
+	if data, f, ok := s.batch.getPending(kind, key); ok {
+		return append([]byte(nil), data...), f, true, nil
+	}
 	for _, f := range [...]Format{FormatBinary, FormatJSON} {
 		data, err := os.ReadFile(s.Path(kind, key, f))
 		if err == nil {
+			s.touch(kind, key)
 			return data, f, true, nil
 		}
 		if !os.IsNotExist(err) {
@@ -150,12 +218,16 @@ func (s *Store) getAppend(buf []byte, kind Kind, key Key) ([]byte, Format, bool,
 	if err := key.Validate(); err != nil {
 		return buf, FormatJSON, false, err
 	}
+	if data, f, ok := s.batch.getPending(kind, key); ok {
+		return append(buf[:0], data...), f, true, nil
+	}
 	for _, f := range [...]Format{FormatBinary, FormatJSON} {
 		data, ok, err := readAppend(buf, s.Path(kind, key, f))
 		if err != nil {
 			return buf, f, false, fmt.Errorf("pipeline: get %s/%s: %w", kind, key, err)
 		}
 		if ok {
+			s.touch(kind, key)
 			return data, f, true, nil
 		}
 	}
@@ -210,13 +282,26 @@ func (s *Store) shardDir(kind Kind, key Key) (string, error) {
 	return dir, nil
 }
 
-// Put writes the artifact atomically in the given format. The shard
-// directory is created on the process's first write to it and remembered, so
-// steady-state Puts are one temp-file write plus one rename.
+// Put writes the artifact in the given format. With write batching enabled
+// the bytes are retained and flushed with the next per-shard batch (bounded
+// by the batcher's deadline; Get-type reads see pending artifacts
+// immediately); otherwise the write happens now. Either way the on-disk
+// write is atomic: temp file + rename, so concurrent processes sharing a
+// cache directory never observe torn artifacts.
 func (s *Store) Put(kind Kind, key Key, data []byte, f Format) error {
 	if err := key.Validate(); err != nil {
 		return err
 	}
+	if b := s.batch; b != nil {
+		return b.put(kind, key, data, f)
+	}
+	return s.putNow(kind, key, data, f)
+}
+
+// putNow writes the artifact atomically in the given format. The shard
+// directory is created on the process's first write to it and remembered, so
+// steady-state Puts are one temp-file write plus one rename.
+func (s *Store) putNow(kind Kind, key Key, data []byte, f Format) error {
 	dir, err := s.shardDir(kind, key)
 	if err != nil {
 		return fmt.Errorf("pipeline: put %s/%s: %w", kind, key, err)

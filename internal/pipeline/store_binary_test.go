@@ -8,17 +8,12 @@ import (
 	"testing"
 )
 
-// binIntStage is a stage with both codecs, for store format-routing tests.
-// The binary layout is a single varint under the profile tag.
+// binIntStage is a stage with both codecs plus a mapped decoder, for store
+// format-routing tests. The binary layout is a single varint under the
+// profile tag.
 func binIntStage(kind Kind) Stage[int] {
 	st := intStage(kind)
-	st.EncodeBinary = func(v int) ([]byte, error) {
-		w := NewBinWriter(BinTagProfile, 16)
-		w.Varint(int64(v))
-		return w.Bytes(), nil
-	}
-	st.DecodeBinary = func(data []byte) (int, error) {
-		r, err := NewBinReader(data, BinTagProfile)
+	decode := func(r *BinReader, err error) (int, error) {
 		if err != nil {
 			return 0, err
 		}
@@ -27,6 +22,19 @@ func binIntStage(kind Kind) Stage[int] {
 			return 0, err
 		}
 		return v, nil
+	}
+	st.EncodeBinary = func(v int) ([]byte, error) {
+		w := NewBinWriter(BinTagProfile, 16)
+		w.Varint(int64(v))
+		return w.Bytes(), nil
+	}
+	st.DecodeBinary = func(data []byte) (int, error) {
+		r, err := NewBinReader(data, BinTagProfile)
+		return decode(r, err)
+	}
+	st.DecodeMapped = func(data []byte) (int, error) {
+		r, err := NewBinReaderBorrow(data, BinTagProfile)
+		return decode(r, err)
 	}
 	return st
 }

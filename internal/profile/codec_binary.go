@@ -38,6 +38,9 @@ func EncodeBinary(pr *Profile) ([]byte, error) {
 	w.Varint(int64(pr.Graph.NumEdges()))
 	w.Varint(int64(len(pr.Graph.Paths)))
 
+	// The raw float runs are 8-byte aligned (and stay aligned across
+	// consecutive rows), so borrow-mode decodes can alias them in place.
+	w.Pad8()
 	for _, row := range pr.TimeUS {
 		w.FloatsRaw(row)
 	}
@@ -47,6 +50,7 @@ func EncodeBinary(pr *Profile) ([]byte, error) {
 	w.Int64s(pr.Invocations)
 	w.Int64s(pr.EdgeCounts)
 	w.Int64s(pr.PathCounts)
+	w.Pad8()
 	w.FloatsRaw(pr.TotalTimeUS)
 	w.FloatsRaw(pr.TotalEnergyUJ)
 
@@ -65,6 +69,25 @@ func DecodeBinary(data []byte, p *ir.Program, in ir.Input, modes *volt.ModeSet) 
 	if err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)
 	}
+	return decodeBinary(r, p, in, modes)
+}
+
+// DecodeBinaryMapped is DecodeBinary in borrow mode: the float runs backing
+// the time/energy matrices and totals alias data wherever alignment allows
+// instead of being copied, so an mmap'd profile is consumed straight out of
+// the page cache. The decoded value is byte-identical to DecodeBinary's
+// (misaligned or big-endian hosts silently fall back to copying). The caller
+// owns the lifetime: data must stay valid for as long as the profile is in
+// use (see pipeline.Mapping).
+func DecodeBinaryMapped(data []byte, p *ir.Program, in ir.Input, modes *volt.ModeSet) (*Profile, error) {
+	r, err := pipeline.NewBinReaderBorrow(data, pipeline.BinTagProfile)
+	if err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	return decodeBinary(r, p, in, modes)
+}
+
+func decodeBinary(r *pipeline.BinReader, p *ir.Program, in ir.Input, modes *volt.ModeSet) (*Profile, error) {
 	if v := r.Uvarint(); r.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("profile: artifact version %d, want %d", v, codecVersion)
 	}
@@ -102,29 +125,30 @@ func DecodeBinary(data []byte, p *ir.Program, in ir.Input, modes *volt.ModeSet) 
 	}
 	nm := nModes
 	// The matrix dimensions are validated above, so the float runs carry no
-	// length prefixes; FloatsInto still bounds each run against the input.
+	// length prefixes; FloatsBorrow still bounds each run against the input.
+	// Each matrix is one contiguous run over a single backing array — copied
+	// in plain mode, aliased out of the mapping in borrow mode.
 	if r.Remaining() < 16*nBlocks*nm {
 		return nil, fmt.Errorf("profile: artifact matrices truncated")
 	}
+	r.Pad8()
+	timeBack := r.FloatsBorrow(nBlocks * nm)
+	energyBack := r.FloatsBorrow(nBlocks * nm)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
 	timeUS := make([][]float64, nBlocks)
 	energyUJ := make([][]float64, nBlocks)
-	timeBack := make([]float64, nBlocks*nm)
-	energyBack := make([]float64, nBlocks*nm)
 	for j := 0; j < nBlocks; j++ {
 		timeUS[j] = timeBack[j*nm : (j+1)*nm : (j+1)*nm]
-		r.FloatsInto(timeUS[j])
-	}
-	for j := 0; j < nBlocks; j++ {
 		energyUJ[j] = energyBack[j*nm : (j+1)*nm : (j+1)*nm]
-		r.FloatsInto(energyUJ[j])
 	}
 	invocations := r.Int64s()
 	edgeCounts := r.Int64s()
 	pathCounts := r.Int64s()
-	totalTime := make([]float64, nm)
-	totalEnergy := make([]float64, nm)
-	r.FloatsInto(totalTime)
-	r.FloatsInto(totalEnergy)
+	r.Pad8()
+	totalTime := r.FloatsBorrow(nm)
+	totalEnergy := r.FloatsBorrow(nm)
 	params := sim.Params{
 		NCache:       r.Varint(),
 		NOverlap:     r.Varint(),

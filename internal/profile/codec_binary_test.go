@@ -69,6 +69,43 @@ func TestBinaryParity(t *testing.T) {
 	}
 }
 
+// TestDecodeBinaryMappedParity is the zero-copy contract for profiles: the
+// borrow-mode decoder must produce a profile identical to the copying
+// decoder's, from aligned and from misaligned buffers alike, and reject the
+// same truncations.
+func TestDecodeBinaryMappedParity(t *testing.T) {
+	pr := collect(t)
+	p := branchyLoop(500)
+	in := ir.Input{Name: "in", Seed: 11}
+	modes := volt.XScale3()
+	data, err := EncodeBinary(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecodeBinary(data, p, in, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for skew := 0; skew < 8; skew++ {
+		buf := make([]byte, len(data)+skew)
+		copy(buf[skew:], data)
+		got, err := DecodeBinaryMapped(buf[skew:], p, in, modes)
+		if err != nil {
+			t.Fatalf("skew %d: %v", skew, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("skew %d: mapped decode differs from copying decode", skew)
+		}
+	}
+	for n := 0; n < len(data); n += 7 {
+		_, cerr := DecodeBinary(data[:n], p, in, modes)
+		_, merr := DecodeBinaryMapped(append([]byte(nil), data[:n]...), p, in, modes)
+		if (cerr == nil) != (merr == nil) {
+			t.Fatalf("truncation to %d: copying err=%v, mapped err=%v", n, cerr, merr)
+		}
+	}
+}
+
 // TestDecodeBinaryRejects holds the binary profile decoder to clean rejection
 // of mismatched identities and truncation at every byte boundary.
 func TestDecodeBinaryRejects(t *testing.T) {

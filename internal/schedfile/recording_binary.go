@@ -11,10 +11,12 @@ import (
 // Binary recording codec. The layout mirrors recordingJSON field for field —
 // the property tests assert DecodeRecordingBinary(EncodeRecordingBinary(rec))
 // equals DecodeRecording(EncodeRecording(rec)) — but skips base64 and JSON
-// tokenization: the block trace is a run of uvarints, the outcome bitstreams
-// raw little-endian words. Every claimed length is bounded against the
-// remaining input before allocation (see pipeline.BinReader), so a truncated
-// or hostile artifact is rejected without a giant make().
+// tokenization: the block trace and the outcome bitstreams are 8-byte-aligned
+// runs of raw little-endian words, which lets the borrow-mode decoder
+// (DecodeRecordingBinaryMapped) alias them straight out of an mmap'd artifact
+// with no copy at all. Every claimed length is bounded against the remaining
+// input before allocation (see pipeline.BinReader), so a truncated or hostile
+// artifact is rejected without a giant make().
 
 func putMachine(w *pipeline.BinWriter, c sim.Config) {
 	for _, cache := range [...]sim.CacheConfig{c.L1, c.L2} {
@@ -59,7 +61,7 @@ func EncodeRecordingBinary(rec *sim.Recording) ([]byte, error) {
 	if rec == nil {
 		return nil, fmt.Errorf("schedfile: encode nil recording")
 	}
-	hint := 256 + 3*len(rec.Trace) + 8*(len(rec.MemBits)+len(rec.BranchBits)) +
+	hint := 256 + 4*len(rec.Trace) + 8*(len(rec.MemBits)+len(rec.BranchBits)) +
 		4*(len(rec.EdgeCountsByID)+len(rec.PathCountsByID))
 	w := pipeline.NewBinWriter(pipeline.BinTagRecording, hint)
 	w.Uvarint(RecordingVersion)
@@ -68,10 +70,7 @@ func EncodeRecordingBinary(rec *sim.Recording) ([]byte, error) {
 	putMachine(w, rec.Config)
 	w.Varint(int64(rec.NumBlocks))
 
-	w.Uvarint(uint64(len(rec.Trace)))
-	for _, b := range rec.Trace {
-		w.Uvarint(uint64(b))
-	}
+	w.Uint32s(rec.Trace)
 	w.Varint(rec.MemOps)
 	w.Uint64s(rec.MemBits)
 	w.Varint(rec.BranchOps)
@@ -99,6 +98,26 @@ func DecodeRecordingBinary(data []byte, p *ir.Program, in ir.Input, mc sim.Confi
 	if err != nil {
 		return nil, fmt.Errorf("schedfile: decode recording: %w", err)
 	}
+	return decodeRecordingBinary(r, p, in, mc)
+}
+
+// DecodeRecordingBinaryMapped is DecodeRecordingBinary in borrow mode: the
+// returned recording's large arrays — the block trace and the packed
+// cache/branch outcome words — alias data wherever alignment allows instead
+// of being copied, so an mmap'd artifact replays straight out of the page
+// cache. The decoded value is byte-identical to DecodeRecordingBinary's
+// (misaligned or big-endian hosts silently fall back to copying). The caller
+// owns the lifetime: data must stay valid for as long as the recording is in
+// use (see pipeline.Mapping).
+func DecodeRecordingBinaryMapped(data []byte, p *ir.Program, in ir.Input, mc sim.Config) (*sim.Recording, error) {
+	r, err := pipeline.NewBinReaderBorrow(data, pipeline.BinTagRecording)
+	if err != nil {
+		return nil, fmt.Errorf("schedfile: decode recording: %w", err)
+	}
+	return decodeRecordingBinary(r, p, in, mc)
+}
+
+func decodeRecordingBinary(r *pipeline.BinReader, p *ir.Program, in ir.Input, mc sim.Config) (*sim.Recording, error) {
 	if v := r.Uvarint(); r.Err() == nil && v != RecordingVersion {
 		return nil, fmt.Errorf("schedfile: recording artifact version %d, want %d", v, RecordingVersion)
 	}
@@ -107,22 +126,7 @@ func DecodeRecordingBinary(data []byte, p *ir.Program, in ir.Input, mc sim.Confi
 	machine := readMachine(r)
 	numBlocks := r.Int()
 
-	traceLen := r.Len()
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("schedfile: decode recording: %w", err)
-	}
-	// Each trace entry is at least one packed byte; bound before allocating.
-	if traceLen > r.Remaining() {
-		return nil, fmt.Errorf("schedfile: decode recording: block trace length %d does not fit %d packed bytes", traceLen, r.Remaining())
-	}
-	trace := make([]uint32, traceLen)
-	for i := range trace {
-		v := r.Uvarint()
-		if v > 1<<32-1 {
-			return nil, fmt.Errorf("schedfile: decode recording: malformed block trace at entry %d", i)
-		}
-		trace[i] = uint32(v)
-	}
+	trace := r.Uint32s()
 	memOps := r.Varint()
 	memBits := r.Uint64s()
 	branchOps := r.Varint()

@@ -70,6 +70,55 @@ func TestRecordingBinaryParity(t *testing.T) {
 	}
 }
 
+// TestRecordingBinaryMappedParity is the zero-copy contract: the borrow-mode
+// decoder must produce a recording identical to the copying decoder's — from
+// the canonical aligned buffer and from deliberately misaligned copies, where
+// borrowing is impossible and the decoder must silently fall back.
+func TestRecordingBinaryMappedParity(t *testing.T) {
+	p, in, mc, rec := recordingFixture(t)
+	data, err := EncodeRecordingBinary(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecodeRecordingBinary(data, p, in, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for skew := 0; skew < 8; skew++ {
+		buf := make([]byte, len(data)+skew)
+		copy(buf[skew:], data)
+		got, err := DecodeRecordingBinaryMapped(buf[skew:], p, in, mc)
+		if err != nil {
+			t.Fatalf("skew %d: %v", skew, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("skew %d: mapped decode differs from copying decode", skew)
+		}
+		// Replays of the mapped recording are bit-identical too.
+		wr, err := want.ReplayAll(volt.XScale3().Modes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := got.ReplayAll(volt.XScale3().Modes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wr, gr) {
+			t.Fatalf("skew %d: mapped recording replays differently", skew)
+		}
+	}
+
+	// Truncations are rejected by the mapped decoder exactly like the
+	// copying one — same accept/reject decision at every cut.
+	for n := 0; n < len(data); n++ {
+		_, cerr := DecodeRecordingBinary(data[:n], p, in, mc)
+		_, merr := DecodeRecordingBinaryMapped(append([]byte(nil), data[:n]...), p, in, mc)
+		if (cerr == nil) != (merr == nil) {
+			t.Fatalf("truncation to %d: copying err=%v, mapped err=%v", n, cerr, merr)
+		}
+	}
+}
+
 // TestDecodeRecordingBinaryRejects holds the binary decoder to rejecting — not
 // crashing on, not over-allocating for — malformed frames: wrong identity,
 // wrong machine, and truncation at every byte boundary.
@@ -103,8 +152,13 @@ func TestDecodeRecordingBinaryRejects(t *testing.T) {
 	// A frame claiming a giant trace must fail before allocating: flip the
 	// version byte range check first — craft a frame that is headers plus a
 	// huge uvarint length where the trace length lives.
-	if _, err := DecodeRecordingBinary([]byte("CTDB\x01\x01"), p, in, mc); err == nil {
+	if _, err := DecodeRecordingBinary([]byte("CTDB\x02\x01"), p, in, mc); err == nil {
 		t.Error("empty payload accepted")
+	}
+	// A legacy version-1 artifact (pre-alignment layout) is rejected at the
+	// frame header — it re-misses and is rewritten, never misparsed.
+	if _, err := DecodeRecordingBinary([]byte("CTDB\x01\x01"), p, in, mc); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("legacy version: err = %v", err)
 	}
 }
 
@@ -119,23 +173,42 @@ func FuzzDecodeRecordingBinary(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
-	// Targeted corruptions: bad magic, bad version, wrong tag, truncated
-	// header, huge claimed trace length, flipped payload bytes.
+	// Targeted corruptions: bad magic, legacy and future versions, wrong tag,
+	// truncated header, huge claimed trace length, flipped payload bytes, and
+	// cuts inside the alignment padding and the raw trace words.
 	f.Add([]byte{})
 	f.Add([]byte("CTDB"))
-	f.Add([]byte("CTDB\x02\x01"))
-	f.Add([]byte("CTDB\x01\x03"))
-	f.Add(append([]byte("CTDB\x01\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add([]byte("CTDB\x01\x01")) // version 1: pre-alignment layout, must re-miss
+	f.Add([]byte("CTDB\x03\x01")) // future version
+	f.Add([]byte("CTDB\x02\x03")) // wrong tag
+	f.Add(append([]byte("CTDB\x02\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
 	if len(valid) > 8 {
 		half := append([]byte{}, valid[:len(valid)/2]...)
 		f.Add(half)
 		flipped := append([]byte{}, valid...)
 		flipped[len(flipped)/2] ^= 0x40
 		f.Add(flipped)
+		f.Add(append([]byte{}, valid[:len(valid)-3]...)) // cut inside the params tail
+		f.Add(append([]byte{}, valid[:len(valid)*3/4]...))
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeRecordingBinary(data, p, in, mc)
+
+		// The borrow-mode decoder must make the same accept/reject decision
+		// and produce the same value, both over the input itself and over a
+		// misaligned copy (which forces its copying fallback).
+		for skew := 0; skew < 2; skew++ {
+			buf := make([]byte, len(data)+skew)
+			copy(buf[skew:], data)
+			mgot, merr := DecodeRecordingBinaryMapped(buf[skew:], p, in, mc)
+			if (err == nil) != (merr == nil) {
+				t.Fatalf("skew %d: copying err=%v, mapped err=%v", skew, err, merr)
+			}
+			if err == nil && !reflect.DeepEqual(got, mgot) {
+				t.Fatalf("skew %d: mapped decode disagrees with copying decode", skew)
+			}
+		}
 		if err != nil {
 			return // rejection is the expected outcome for garbage
 		}

@@ -34,6 +34,7 @@ import (
 	"ctdvs/internal/core"
 	"ctdvs/internal/exp"
 	"ctdvs/internal/milp"
+	"ctdvs/internal/pipeline"
 	"ctdvs/internal/schedfile"
 	"ctdvs/internal/volt"
 	"ctdvs/internal/workloads"
@@ -66,6 +67,14 @@ type Options struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// StoreBudgetBytes, when positive and the configuration has a disk
+	// store, bounds the store's size: a background pass runs Store.Compact
+	// to this budget every CompactInterval, evicting least-recently-used
+	// artifacts (JSON duplicates of binary artifacts first). Evictions are
+	// visible in /statsz store gauges. Default 0: no compaction.
+	StoreBudgetBytes int64
+	// CompactInterval is the cadence of the compaction pass (default 1m).
+	CompactInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.CompactInterval <= 0 {
+		o.CompactInterval = time.Minute
 	}
 	return o
 }
@@ -123,6 +135,11 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
+	// compactStop ends the background store-compaction loop; closed once by
+	// Drain via stopCompact.
+	compactStop chan struct{}
+	stopCompact sync.Once
+
 	stats stats
 
 	// testHook, when set (tests only, before any request), runs inside
@@ -135,13 +152,45 @@ type Server struct {
 // closing its manifest/store); the server only runs work through it.
 func New(cfg *exp.Config, opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
-		cfg:     cfg,
-		opts:    opts,
-		start:   time.Now(),
-		queue:   make(chan struct{}, opts.Workers+opts.QueueDepth),
-		active:  make(chan struct{}, opts.Workers),
-		flights: make(map[string]*flight),
+	s := &Server{
+		cfg:         cfg,
+		opts:        opts,
+		start:       time.Now(),
+		queue:       make(chan struct{}, opts.Workers+opts.QueueDepth),
+		active:      make(chan struct{}, opts.Workers),
+		flights:     make(map[string]*flight),
+		compactStop: make(chan struct{}),
+	}
+	if opts.StoreBudgetBytes > 0 && s.store() != nil {
+		go s.compactLoop()
+	}
+	return s
+}
+
+// store returns the configuration's disk store, nil when memory-only.
+func (s *Server) store() *pipeline.Store {
+	if s.cfg.Pipeline == nil {
+		return nil
+	}
+	return s.cfg.Pipeline.Store()
+}
+
+// compactLoop is the fleet-cache GC: every CompactInterval it compacts the
+// store to StoreBudgetBytes. Compaction is unlink-based and safe under
+// concurrent readers (see pipeline.Store.Compact), so it needs no
+// coordination with in-flight requests; Drain stops the loop.
+func (s *Server) compactLoop() {
+	t := time.NewTicker(s.opts.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-t.C:
+			if store := s.store(); store != nil {
+				_, _ = store.Compact(s.opts.StoreBudgetBytes)
+			}
+		}
 	}
 }
 
@@ -163,6 +212,7 @@ func (s *Server) Handler() http.Handler {
 // http.Server.Shutdown so responses still reach their clients.
 func (s *Server) Drain() {
 	s.draining.Store(true)
+	s.stopCompact.Do(func() { close(s.compactStop) })
 	s.inflight.Wait()
 }
 
@@ -631,6 +681,17 @@ func (s *Server) Stats() *Stats {
 		st.Cache = s.cfg.Pipeline.Manifest().Stats()
 		if store := s.cfg.Pipeline.Store(); store != nil {
 			st.CacheCodec = store.WriteFormat().String()
+			ss := &StoreStats{
+				Dir:         store.Dir(),
+				BudgetBytes: s.opts.StoreBudgetBytes,
+				Evictions:   store.Evictions(),
+			}
+			if ds, err := store.DiskStats(); err == nil {
+				ss.TotalArtifacts = ds.TotalArtifacts
+				ss.TotalBytes = ds.TotalBytes
+				ss.Kinds = ds.Kinds
+			}
+			st.Store = ss
 		}
 	}
 	return st

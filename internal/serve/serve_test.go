@@ -481,3 +481,89 @@ func waitFor(t testing.TB, what string, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestStatszStoreGauges: a disk-backed server reports its store's on-disk
+// footprint and eviction gauges on /statsz; a memory-only server omits the
+// group entirely.
+func TestStatszStoreGauges(t *testing.T) {
+	// Memory-only: no store group.
+	s, _ := newTestServer(t, "", Options{})
+	if st := s.Stats(); st.Store != nil {
+		t.Errorf("memory-only server reports store gauges: %+v", st.Store)
+	}
+
+	dir := t.TempDir()
+	s, ts := newTestServer(t, dir, Options{})
+	status, body := postOptimize(t, ts, fmt.Sprintf(`{"bench":%q,"deadline":3}`, testBench))
+	decodeOK(t, status, body)
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil {
+		t.Fatal("disk-backed server omits store gauges")
+	}
+	if st.Store.Dir != dir {
+		t.Errorf("store dir = %q, want %q", st.Store.Dir, dir)
+	}
+	if st.Store.TotalArtifacts < 1 || st.Store.TotalBytes <= 0 {
+		t.Errorf("store footprint empty after a completed request: %+v", st.Store)
+	}
+	if len(st.Store.Kinds) == 0 {
+		t.Error("store gauges missing per-kind breakdown")
+	}
+	var sum int
+	for _, ks := range st.Store.Kinds {
+		sum += ks.Artifacts
+	}
+	if sum != st.Store.TotalArtifacts {
+		t.Errorf("per-kind artifacts sum to %d, total says %d", sum, st.Store.TotalArtifacts)
+	}
+	if st.Store.BudgetBytes != 0 || st.Store.Evictions.Compactions != 0 {
+		t.Errorf("unconfigured compaction reports activity: %+v", st.Store)
+	}
+}
+
+// TestServerCompactLoop: with a byte budget configured, the background
+// compaction loop evicts until the store fits, the eviction gauges move, and
+// requests keep completing correctly throughout.
+func TestServerCompactLoop(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, dir, Options{
+		StoreBudgetBytes: 1, // unsatisfiable: every pass must evict something
+		CompactInterval:  5 * time.Millisecond,
+	})
+	status, body := postOptimize(t, ts, fmt.Sprintf(`{"bench":%q,"deadline":3}`, testBench))
+	first := canonical(t, body)
+	decodeOK(t, status, body)
+
+	waitFor(t, "background compaction", func() bool {
+		ev := s.Stats().Store.Evictions
+		return ev.Compactions >= 1 && ev.EvictedArtifacts >= 1
+	})
+	if got := s.Stats().Store.BudgetBytes; got != 1 {
+		t.Errorf("budget gauge = %d, want 1", got)
+	}
+
+	// The cache was evicted underneath the server; a repeat request must
+	// recompute to the identical answer (evictions cost work, not answers).
+	status, body = postOptimize(t, ts, fmt.Sprintf(`{"bench":%q,"deadline":3}`, testBench))
+	decodeOK(t, status, body)
+	if canonical(t, body) != first {
+		t.Error("response changed after compaction evicted the cache")
+	}
+
+	// Drain stops the loop; the gauges stop moving afterwards.
+	s.Drain()
+	ev := s.Stats().Store.Evictions
+	time.Sleep(20 * time.Millisecond)
+	if after := s.Stats().Store.Evictions; after.Compactions != ev.Compactions {
+		t.Errorf("compactions advanced after Drain: %d -> %d", ev.Compactions, after.Compactions)
+	}
+}

@@ -123,4 +123,22 @@ type Stats struct {
 	// CacheCodec is the disk store's write format ("binary" or "json");
 	// empty when the server runs memory-only.
 	CacheCodec string `json:"cache_codec,omitempty"`
+
+	// Store is the disk store's on-disk footprint and eviction gauges;
+	// absent when the server runs memory-only.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the /statsz store gauge group: the on-disk footprint per
+// artifact kind plus this process's compaction/eviction totals.
+type StoreStats struct {
+	Dir            string                                   `json:"dir"`
+	TotalArtifacts int                                      `json:"total_artifacts"`
+	TotalBytes     int64                                    `json:"total_bytes"`
+	Kinds          map[pipeline.Kind]pipeline.KindDiskStats `json:"kinds,omitempty"`
+
+	// BudgetBytes is the configured compaction budget (0: compaction off).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+
+	Evictions pipeline.EvictionStats `json:"evictions"`
 }
